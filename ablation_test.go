@@ -1,0 +1,140 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: FBT
+// sizing, the per-CU L1 invalidation filters, the FBT-as-second-level-TLB
+// optimization, banked shared TLBs, large pages, and dynamic synonym
+// remapping. Each reports the decision-relevant metric via b.ReportMetric.
+package vcache
+
+import (
+	"testing"
+
+	"vcache/internal/core"
+	"vcache/internal/memory"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+func ablationTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	g, _ := workloads.ByName("pagerank")
+	return g.Build(benchParams())
+}
+
+func shrink(cfg core.Config) core.Config {
+	cfg.GPU.NumCUs = 8
+	return cfg
+}
+
+// BenchmarkAblationFBTSize sweeps the BT capacity. The paper argues an
+// adequately provisioned FBT (8K entries) already eliminates most
+// invalidation overhead; an undersized one thrashes, invalidating cached
+// data on every entry eviction. The bench workload touches ~900 pages, so
+// 512 entries binds while 8K/16K hold every page.
+func BenchmarkAblationFBTSize(b *testing.B) {
+	tr := ablationTrace(b)
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{512, 8192, 16384} {
+			cfg := shrink(core.DesignVCOpt())
+			cfg.FBT.Entries = entries
+			r := core.Run(cfg, tr)
+			switch entries {
+			case 512:
+				b.ReportMetric(float64(r.FBT.Evictions), "evictions-512")
+				b.ReportMetric(float64(r.Cycles), "cycles-512")
+			case 8192:
+				b.ReportMetric(float64(r.FBT.Evictions), "evictions-8k")
+			case 16384:
+				b.ReportMetric(float64(r.FBT.Evictions), "evictions-16k")
+				b.ReportMetric(float64(r.Cycles), "cycles-16k")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInvFilter compares the §4.2 invalidation filters
+// against conservative every-L1 flushing on FBT evictions.
+func BenchmarkAblationInvFilter(b *testing.B) {
+	tr := ablationTrace(b)
+	for i := 0; i < b.N; i++ {
+		withF := shrink(core.DesignVCOpt())
+		withF.FBT.Entries = 512 // force FBT evictions
+		withoutF := withF
+		withoutF.InvFilter = false
+		rw := core.Run(withF, tr)
+		ro := core.Run(withoutF, tr)
+		b.ReportMetric(float64(rw.L1FullFlushes), "flushes-filtered")
+		b.ReportMetric(float64(ro.L1FullFlushes), "flushes-unfiltered")
+	}
+}
+
+// BenchmarkAblationFBTSecondLevel isolates the VC With OPT optimization:
+// page-table walks avoided by consulting the FT on shared-TLB misses.
+func BenchmarkAblationFBTSecondLevel(b *testing.B) {
+	tr := ablationTrace(b)
+	for i := 0; i < b.N; i++ {
+		noOpt := core.Run(shrink(core.DesignVC()), tr)
+		opt := core.Run(shrink(core.DesignVCOpt()), tr)
+		b.ReportMetric(float64(noOpt.IOMMU.Walks), "walks-noopt")
+		b.ReportMetric(float64(opt.IOMMU.Walks), "walks-opt")
+		b.ReportMetric(float64(noOpt.Cycles)/float64(opt.Cycles), "opt-speedup")
+	}
+}
+
+// BenchmarkAblationBankedTLB compares a 4-banked shared TLB (subject to
+// bank conflicts, §3.2) with a genuine 4-wide port and with the VC filter.
+func BenchmarkAblationBankedTLB(b *testing.B) {
+	tr := ablationTrace(b)
+	for i := 0; i < b.N; i++ {
+		banked := shrink(core.DesignBaseline16K())
+		banked.IOMMU.Banks = 4
+		wide := shrink(core.DesignBaseline16K()).WithIOMMUBandwidth(4)
+		rb := core.Run(banked, tr)
+		rw := core.Run(wide, tr)
+		rv := core.Run(shrink(core.DesignVCOpt()), tr)
+		b.ReportMetric(float64(rb.Cycles), "cycles-banked4")
+		b.ReportMetric(float64(rw.Cycles), "cycles-wide4")
+		b.ReportMetric(float64(rv.Cycles), "cycles-vc")
+	}
+}
+
+// BenchmarkAblationLargePages compares 4KB and 2MB backing under the
+// baseline MMU (§3.2's large-page discussion).
+func BenchmarkAblationLargePages(b *testing.B) {
+	tr := ablationTrace(b)
+	for i := 0; i < b.N; i++ {
+		small := core.Run(shrink(core.DesignBaseline512()), tr)
+		lcfg := shrink(core.DesignBaseline512())
+		lcfg.LargePages = true
+		large := core.Run(lcfg, tr)
+		b.ReportMetric(small.PerCUTLBMissRatio(), "missratio-4k")
+		b.ReportMetric(large.PerCUTLBMissRatio(), "missratio-2m")
+		b.ReportMetric(float64(small.Cycles)/float64(large.Cycles), "2m-speedup")
+	}
+}
+
+// BenchmarkAblationDSR measures dynamic synonym remapping (§4.3) on a
+// synonym-hammering microworkload.
+func BenchmarkAblationDSR(b *testing.B) {
+	build := func() *trace.Trace {
+		tb := trace.NewBuilder("hammer", 1, 4, 2)
+		tb.Warp().Load(0x100000)
+		tb.Barrier()
+		for i := 0; i < 32; i++ {
+			tb.Warp().Load(0x900000)
+			tb.Barrier()
+		}
+		return tb.Build()
+	}
+	run := func(cfg core.Config) core.Results {
+		sys := core.New(shrink(cfg))
+		sys.Space().EnsureMapped(0x100000)
+		sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
+		return sys.Run(build())
+	}
+	for i := 0; i < b.N; i++ {
+		without := run(core.DesignVCOpt())
+		with := run(core.DesignVCOptDSR())
+		b.ReportMetric(float64(without.SynonymReplays), "replays-plain")
+		b.ReportMetric(float64(with.SynonymReplays), "replays-dsr")
+		b.ReportMetric(with.SpeedupOver(without), "dsr-speedup")
+	}
+}

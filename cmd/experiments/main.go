@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all                 # every table and figure
+//	experiments -fig 9 -fig 10           # specific figures
+//	experiments -workloads pagerank,bfs  # restrict the workload set
+//	experiments -scale 2 -seed 7         # bigger inputs, different seed
+//
+// Output is the text rendering of each table/figure; absolute numbers
+// depend on the synthetic inputs, but the shapes track the paper (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vcache/internal/experiments"
+	"vcache/internal/workloads"
+)
+
+type figList []string
+
+func (f *figList) String() string     { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error { *f = append(*f, strings.Split(v, ",")...); return nil }
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure/table id to regenerate (repeatable; 'all' = everything)")
+	scale := flag.Int("scale", 1, "workload input scale factor")
+	seed := flag.Uint64("seed", 42, "synthetic input seed")
+	cus := flag.Int("cus", 16, "number of compute units")
+	warps := flag.Int("warps", 8, "warp contexts per CU")
+	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
+	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
+	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
+	flag.Parse()
+
+	p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
+	var subset []string
+	if *wl != "" {
+		subset = strings.Split(*wl, ",")
+	}
+	suite, err := experiments.New(p, subset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		suite.Progress = os.Stderr
+	}
+
+	ids := []string(figs)
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+	var expanded []string
+	for _, id := range ids {
+		switch id {
+		case "all":
+			expanded = append(expanded, experiments.Figures()...)
+			expanded = append(expanded, experiments.Extras()...)
+		case "paper":
+			expanded = append(expanded, experiments.Figures()...)
+		case "extras":
+			expanded = append(expanded, experiments.Extras()...)
+		default:
+			expanded = append(expanded, id)
+		}
+	}
+	ids = expanded
+	for _, id := range ids {
+		out, err := suite.Render(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := suite.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", suite.RunCount(), *csvOut)
+	}
+}

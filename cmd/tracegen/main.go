@@ -1,0 +1,70 @@
+// Command tracegen generates workload traces and prints their memory
+// characteristics: instruction counts, coalescing divergence, page
+// footprints, scratchpad use — the properties that drive the paper's
+// observations.
+//
+// Usage:
+//
+//	tracegen                    # summarize all 15 workloads
+//	tracegen -workload fw -v    # per-kind breakdown for one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("workload", "", "single workload to inspect (default: all)")
+	scale := flag.Int("scale", 1, "workload input scale factor")
+	seed := flag.Uint64("seed", 42, "synthetic input seed")
+	cus := flag.Int("cus", 16, "number of compute units")
+	warps := flag.Int("warps", 8, "warp contexts per CU")
+	verbose := flag.Bool("v", false, "per-CU warp stream lengths")
+	out := flag.String("o", "", "save the generated trace(s) to this file (single workload) or directory")
+	flag.Parse()
+
+	p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
+	gens := workloads.All()
+	if *wl != "" {
+		g, ok := workloads.ByName(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+			os.Exit(1)
+		}
+		gens = []workloads.Generator{g}
+	}
+	for _, g := range gens {
+		fmt.Println(workloads.Describe(g, p))
+		tr := g.Build(p)
+		if *verbose {
+			dump(tr)
+		}
+		if *out != "" {
+			path := *out
+			if len(gens) > 1 {
+				path = filepath.Join(*out, g.Name+".trace")
+			}
+			if err := tr.Save(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("    saved %s\n", path)
+		}
+	}
+}
+
+func dump(tr *trace.Trace) {
+	for ci, cu := range tr.CUs {
+		total := 0
+		for _, w := range cu.Warps {
+			total += len(w)
+		}
+		fmt.Printf("    cu %2d: %d warp contexts, %d instructions total\n", ci, len(cu.Warps), total)
+	}
+}

@@ -1,0 +1,168 @@
+// Command vcsim runs one workload under one MMU design and prints the
+// run's statistics — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	vcsim -workload pagerank -design vc-opt
+//	vcsim -workload bfs -design baseline-512 -scale 2
+//	vcsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vcache/internal/core"
+	"vcache/internal/report"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+func designByName(name string) (core.Config, bool) {
+	switch strings.ToLower(name) {
+	case "ideal":
+		return core.DesignIdeal(), true
+	case "baseline-512", "baseline512":
+		return core.DesignBaseline512(), true
+	case "baseline-16k", "baseline16k":
+		return core.DesignBaseline16K(), true
+	case "baseline-large-tlb":
+		return core.DesignBaselineLargePerCU(), true
+	case "vc":
+		return core.DesignVC(), true
+	case "vc-opt", "vcopt":
+		return core.DesignVCOpt(), true
+	case "vc-opt-dsr":
+		return core.DesignVCOptDSR(), true
+	case "l1-only-vc-32":
+		return core.DesignL1OnlyVC(32), true
+	case "l1-only-vc-128":
+		return core.DesignL1OnlyVC(128), true
+	default:
+		return core.Config{}, false
+	}
+}
+
+var designNames = []string{
+	"ideal", "baseline-512", "baseline-16k", "baseline-large-tlb",
+	"vc", "vc-opt", "vc-opt-dsr", "l1-only-vc-32", "l1-only-vc-128",
+}
+
+func main() {
+	wl := flag.String("workload", "pagerank", "workload name")
+	traceFile := flag.String("tracefile", "", "replay a saved trace instead of generating one")
+	design := flag.String("design", "baseline-512", "MMU design: "+strings.Join(designNames, ", "))
+	scale := flag.Int("scale", 1, "workload input scale factor")
+	seed := flag.Uint64("seed", 42, "synthetic input seed")
+	cus := flag.Int("cus", 16, "number of compute units")
+	warps := flag.Int("warps", 8, "warp contexts per CU")
+	probe := flag.Bool("probe", false, "classify TLB misses by data residency (Figure 2)")
+	iommubw := flag.Int("iommubw", -1, "override IOMMU lookups/cycle (0 = unlimited)")
+	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
+	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON")
+	list := flag.Bool("list", false, "list workloads and designs")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, g := range workloads.All() {
+			hb := ""
+			if g.HighBandwidth {
+				hb = " [high translation bandwidth]"
+			}
+			fmt.Printf("  %-14s (%s)%s\n", g.Name, g.Suite, hb)
+		}
+		fmt.Println("designs:")
+		for _, d := range designNames {
+			fmt.Printf("  %s\n", d)
+		}
+		return
+	}
+
+	cfg, ok := designByName(*design)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown design %q (try -list)\n", *design)
+		os.Exit(1)
+	}
+	cfg.ProbeResidency = *probe
+	cfg.LargePages = *largePages
+	if *iommubw >= 0 {
+		cfg = cfg.WithIOMMUBandwidth(*iommubw)
+	}
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		var err error
+		tr, err = trace.LoadFile(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		g, ok := workloads.ByName(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
+			os.Exit(1)
+		}
+		p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
+		tr = g.Build(p)
+	}
+	s := tr.Summarize()
+	fmt.Printf("workload %s: %d mem insts, %d coalesced lines, divergence %.2f, %d pages\n",
+		tr.Name, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
+
+	r := core.Run(cfg, tr)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("design   %s (%v)\n", r.Design, r.Kind)
+	fmt.Printf("cycles   %d (%.3f ms at 700 MHz)\n", r.Cycles, float64(r.Cycles)/700e3)
+	if r.PerCUTLB.Accesses() > 0 {
+		fmt.Printf("per-CU TLB   %d accesses, miss ratio %.1f%%\n",
+			r.PerCUTLB.Accesses(), 100*r.PerCUTLBMissRatio())
+	}
+	fmt.Printf("IOMMU    %d requests (%.3f/cycle mean, %.2f max), %d shared-TLB misses, %d walks, queue delay %d cy\n",
+		r.IOMMU.Requests, r.IOMMURate.Mean, r.IOMMURate.Max, r.IOMMU.TLBMisses, r.IOMMU.Walks, r.IOMMU.QueueDelay)
+	if r.IOMMU.Requests > 0 {
+		fmt.Printf("IOMMU serialization delay: p50 %.0f, p95 %.0f, p99 %.0f cycles\n",
+			r.IOMMUDelayP50, r.IOMMUDelayP95, r.IOMMUDelayP99)
+	}
+	if r.IOMMU.FBTHits > 0 {
+		fmt.Printf("FBT as L2 TLB: %d hits of %d shared-TLB misses\n", r.IOMMU.FBTHits, r.IOMMU.TLBMisses)
+	}
+	fmt.Printf("L1       hit ratio %.1f%%   L2 hit ratio %.1f%% (%d distinct pages resident at peak)\n",
+		100*r.L1.HitRatio(), 100*r.L2.HitRatio(), r.L2DistinctPages)
+	fmt.Printf("L2       rd %d/%d (hit/miss), wr %d/%d, fills %d, evict %d, wb %d; merges tlb=%d line=%d\n",
+		r.L2.ReadHits, r.L2.ReadMisses, r.L2.WriteHits, r.L2.WriteMisses,
+		r.L2.Fills, r.L2.Evictions, r.L2.Writebacks, r.TLBMerges, r.LineMerges)
+	fmt.Printf("DRAM     %d reads, %d writes\n", r.DRAM.Reads, r.DRAM.Writes)
+	if len(r.IOMMUSamples) > 1 {
+		fmt.Printf("IOMMU accesses/cycle over time (max %.2f):\n  %s\n",
+			r.IOMMURate.Max, report.Sparkline(report.Downsample(r.IOMMUSamples, 72)))
+	}
+	if r.Kind == core.VirtualHierarchy {
+		fmt.Printf("FBT      %d allocations, %d evictions, %d synonym accesses, %d RW-synonym faults\n",
+			r.FBT.Allocations, r.FBT.Evictions, r.FBT.SynonymAccesses, r.FBT.RWSynonymFaults)
+	}
+	if *probe && r.Probe.TLBMisses > 0 {
+		p := r.Probe
+		fmt.Printf("TLB-miss residency: %d misses -> %.1f%% L1-hit, %.1f%% L2-hit, %.1f%% memory (filtered: %.1f%%)\n",
+			p.TLBMisses,
+			100*float64(p.L1Hit)/float64(p.TLBMisses),
+			100*float64(p.L2Hit)/float64(p.TLBMisses),
+			100*float64(p.MemAccess)/float64(p.TLBMisses),
+			100*p.FilteredRatio())
+	}
+	if r.Faults != (core.FaultCounts{}) {
+		fmt.Printf("faults   %+v\n", r.Faults)
+	}
+}

@@ -1,0 +1,155 @@
+// Package area models the storage cost of the proposed design, following
+// §4.3 ("Area Requirements") of the paper. The paper's accounting:
+//
+//   - each BT entry holds a physical-page tag, the leading virtual page
+//     number with permissions, and a 32-bit line vector (one bit per 128B
+//     line of a 4KB page);
+//   - each FT entry holds a leading-VPN tag and an index into the BT;
+//   - a 16K-entry FBT needs ~190KB (BT) + ~80KB (FT) ≈ 270KB, about 7.5%
+//     of the 3.5MB GPU cache hierarchy (16x32KB L1 + 2MB L2);
+//   - each per-CU L1 invalidation filter costs ~1KB, under 3% of a 32KB
+//     L1;
+//   - virtual tags and permission bits add ~1% to the hierarchy.
+//
+// These are sizing claims a hardware implementer checks before anything
+// else, so the model reproduces them from first principles.
+package area
+
+import (
+	"fmt"
+	"math"
+
+	"vcache/internal/memory"
+)
+
+// Bits is a storage size in bits.
+type Bits uint64
+
+// Bytes converts to bytes (rounding up).
+func (b Bits) Bytes() uint64 { return (uint64(b) + 7) / 8 }
+
+// KB converts to kilobytes as a float.
+func (b Bits) KB() float64 { return float64(b.Bytes()) / 1024 }
+
+func (b Bits) String() string { return fmt.Sprintf("%.1fKB", b.KB()) }
+
+// Params are the physical sizing inputs. The defaults mirror the paper's
+// system (Table 1) and a 48-bit virtual / 40-bit physical address space.
+type Params struct {
+	VirtBits int // virtual address bits
+	PhysBits int // physical address bits
+	PageBits int // log2(page size)
+	LineBits int // log2(line size)
+
+	NumCUs        int
+	L1Bytes       int
+	L2Bytes       int
+	LineBytes     int
+	L1Assoc       int
+	L2Assoc       int
+	BTEntries     int
+	BTAssoc       int
+	FilterEntries int // per-CU invalidation filter entries
+	PermBits      int
+	ASIDBits      int
+}
+
+// DefaultParams matches the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		VirtBits: 48, PhysBits: 40,
+		PageBits: memory.PageShift, LineBits: 7,
+		NumCUs: 16, L1Bytes: 32 * 1024, L2Bytes: 2 << 20,
+		LineBytes: memory.LineSize, L1Assoc: 8, L2Assoc: 16,
+		BTEntries: 16384, BTAssoc: 8,
+		FilterEntries: 64,
+		PermBits:      2,
+		ASIDBits:      0, // single-address-space GPUs need no ASID tags
+	}
+}
+
+func log2(x int) int {
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+// Report is the full storage accounting.
+type Report struct {
+	BTEntryBits Bits
+	BT          Bits
+	FTEntryBits Bits
+	FT          Bits
+	FBT         Bits // BT + FT
+
+	FilterPerCU Bits
+	Filters     Bits // all CUs
+
+	ExtraTagPerLine  Bits // virtual-tag delta + permissions per cache line
+	ExtraTagTotal    Bits
+	CacheHierarchy   Bits // data + tags of L1s and L2 (baseline)
+	FBTOverheadRatio float64
+	FilterRatioOfL1  float64
+	TagOverheadRatio float64
+}
+
+// Model computes the report for p.
+func Model(p Params) Report {
+	var r Report
+
+	vpnBits := p.VirtBits - p.PageBits
+	ppnBits := p.PhysBits - p.PageBits
+	linesPerPage := 1 << uint(p.PageBits-p.LineBits)
+
+	// Both tables are set-associative; the set index is implicit, so tags
+	// shed log2(sets) bits (Figure 7 of the paper draws exactly these
+	// fields: an n-bit PPN tag, LVPN+permission, and the 32-bit vector).
+	setIndexBits := log2(p.BTEntries / p.BTAssoc)
+
+	// BT entry: PPN tag, leading VPN + permissions, bit vector, state.
+	const stateBits = 3 // valid, locked, written
+	btEntry := (ppnBits - setIndexBits) + vpnBits + p.PermBits + p.ASIDBits + linesPerPage + stateBits
+	r.BTEntryBits = Bits(btEntry)
+	r.BT = Bits(btEntry * p.BTEntries)
+
+	// FT entry: leading-VPN tag + BT index (log2 entries) + valid.
+	ftEntry := (vpnBits - setIndexBits) + p.ASIDBits + log2(p.BTEntries) + 1
+	r.FTEntryBits = Bits(ftEntry)
+	r.FT = Bits(ftEntry * p.BTEntries)
+	r.FBT = r.BT + r.FT
+
+	// Per-CU invalidation filter: VPN tag + line counter per entry.
+	counterBits := log2(p.L1Bytes/p.LineBytes) + 1
+	r.FilterPerCU = Bits(p.FilterEntries * (vpnBits + counterBits))
+	r.Filters = r.FilterPerCU * Bits(p.NumCUs)
+
+	// Extra per-line cost of virtual tagging: virtual tags are wider than
+	// physical ones by (virtBits - physBits), plus permissions and ASID.
+	extra := (p.VirtBits - p.PhysBits) + p.PermBits + p.ASIDBits
+	r.ExtraTagPerLine = Bits(extra)
+	totalLines := (p.NumCUs*p.L1Bytes + p.L2Bytes) / p.LineBytes
+	r.ExtraTagTotal = Bits(extra * totalLines)
+
+	// Baseline hierarchy storage: data + physical tags + per-line state
+	// (valid, dirty, LRU).
+	l1Lines := p.L1Bytes / p.LineBytes
+	l2Lines := p.L2Bytes / p.LineBytes
+	l1TagBits := p.PhysBits - log2(p.L1Bytes/p.L1Assoc)
+	l2TagBits := p.PhysBits - log2(p.L2Bytes/p.L2Assoc)
+	lineState := 2 + log2(p.L2Assoc) // valid+dirty+LRU rank
+	hier := p.NumCUs*l1Lines*(p.LineBytes*8+l1TagBits+lineState) +
+		l2Lines*(p.LineBytes*8+l2TagBits+lineState)
+	r.CacheHierarchy = Bits(hier)
+
+	r.FBTOverheadRatio = float64(r.FBT) / float64(r.CacheHierarchy)
+	r.FilterRatioOfL1 = float64(r.FilterPerCU) / float64(p.L1Bytes*8)
+	r.TagOverheadRatio = float64(r.ExtraTagTotal) / float64(r.CacheHierarchy)
+	return r
+}
+
+// String renders the accounting like the paper's §4.3 prose.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"BT %s (%d bits/entry) + FT %s (%d bits/entry) = FBT %s (%.1f%% of hierarchy); "+
+			"per-CU invalidation filter %s (%.1f%% of an L1); extra line tags %s (%.1f%% of hierarchy)",
+		r.BT, r.BTEntryBits, r.FT, r.FTEntryBits, r.FBT, 100*r.FBTOverheadRatio,
+		r.FilterPerCU, 100*r.FilterRatioOfL1, r.ExtraTagTotal, 100*r.TagOverheadRatio)
+}

@@ -1,0 +1,366 @@
+// Package cache models set-associative caches with LRU replacement. The
+// same structure serves as a physically-tagged cache (the baseline) and as
+// a virtually-tagged cache (the paper's proposal): lines carry the page
+// permission and ASID needed for virtual caching, and page-granularity
+// invalidation supports FBT-entry eviction and TLB shootdown. Addresses are
+// opaque uint64s; the owner decides whether they are virtual or physical.
+package cache
+
+import (
+	"fmt"
+
+	"vcache/internal/memory"
+)
+
+// WritePolicy selects how stores interact with the cache.
+type WritePolicy int
+
+// Write policies.
+const (
+	// WriteThroughNoAllocate: stores update a hitting line but never
+	// allocate, and always propagate to the next level; lines are never
+	// dirty. This is the paper's GPU L1 policy.
+	WriteThroughNoAllocate WritePolicy = iota
+	// WriteBack: stores allocate and dirty lines; dirty evictions are
+	// written back. This is the paper's GPU L2 policy.
+	WriteBack
+)
+
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteThroughNoAllocate:
+		return "write-through-no-allocate"
+	case WriteBack:
+		return "write-back"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", int(w))
+	}
+}
+
+// Config describes a cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	Banks     int // informational; bank contention is modeled by the owner
+	Policy    WritePolicy
+}
+
+// Lines returns the total line count.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	s := c.Lines() / c.Assoc
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Line is one cache line's metadata.
+type Line struct {
+	Addr  uint64 // line-aligned address (virtual or physical per owner)
+	Valid bool
+	Dirty bool
+	Perm  memory.Perm // page permission, used by virtual caches
+	ASID  memory.ASID
+
+	lru        uint64
+	insertedAt uint64
+	lastAccess uint64
+}
+
+// ActiveLifetime returns lastAccess - insertedAt, the paper's definition of
+// a line's active lifetime.
+func (l Line) ActiveLifetime() uint64 { return l.lastAccess - l.insertedAt }
+
+// InsertedAt returns the cycle the line was filled.
+func (l Line) InsertedAt() uint64 { return l.insertedAt }
+
+// LastAccess returns the cycle of the line's most recent hit (or fill).
+func (l Line) LastAccess() uint64 { return l.lastAccess }
+
+// Stats are the cache's event counters.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions
+	Invalidated uint64 // lines removed by invalidation
+}
+
+// Hits returns read+write hits.
+func (s Stats) Hits() uint64 { return s.ReadHits + s.WriteHits }
+
+// Misses returns read+write misses.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Hits() + s.Misses() }
+
+// HitRatio returns hits / accesses.
+func (s Stats) HitRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(a)
+}
+
+// Cache is a set-associative cache.
+type Cache struct {
+	cfg       Config
+	sets      [][]Line
+	lineMask  uint64
+	lineShift uint
+	tick      uint64
+	stats     Stats
+
+	// Clock, if set, supplies the current cycle for lifetime tracking.
+	Clock func() uint64
+	// OnEvict, if set, observes every line leaving the cache (capacity
+	// eviction or invalidation). Dirty lines need writing back by the
+	// owner.
+	OnEvict func(l Line)
+}
+
+// New builds a cache from cfg. LineBytes must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a positive power of two", cfg.LineBytes))
+	}
+	if cfg.Assoc <= 0 {
+		panic("cache: associativity must be positive")
+	}
+	c := &Cache{cfg: cfg, lineMask: ^uint64(cfg.LineBytes - 1)}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	sets := cfg.Sets()
+	c.sets = make([][]Line, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) now() uint64 {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return c.tick
+}
+
+// LineAddr returns the line-aligned address of addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr & c.lineMask }
+
+// Bank returns the bank index for addr (hash of line address).
+func (c *Cache) Bank(addr uint64) int {
+	if c.cfg.Banks <= 1 {
+		return 0
+	}
+	return int((addr >> c.lineShift) % uint64(c.cfg.Banks))
+}
+
+func (c *Cache) setIndex(addr uint64) int {
+	return int((addr >> c.lineShift) % uint64(len(c.sets)))
+}
+
+func (c *Cache) find(addr uint64) *Line {
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(addr)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a load or store lookup. On a hit it refreshes LRU and
+// (for write-back stores) dirties the line. It returns the hitting line
+// metadata and whether it hit. Store misses never allocate here; callers
+// use Fill after fetching data (write-back) or skip allocation entirely
+// (write-through no-allocate).
+func (c *Cache) Access(addr uint64, write bool) (Line, bool) {
+	c.tick++
+	if l := c.find(addr); l != nil {
+		l.lru = c.tick
+		l.lastAccess = c.now()
+		if write {
+			c.stats.WriteHits++
+			if c.cfg.Policy == WriteBack {
+				l.Dirty = true
+			}
+		} else {
+			c.stats.ReadHits++
+		}
+		return *l, true
+	}
+	if write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+	return Line{}, false
+}
+
+// Probe reports whether addr's line is resident, without side effects.
+func (c *Cache) Probe(addr uint64) bool { return c.find(addr) != nil }
+
+// Get returns the line metadata for addr without side effects.
+func (c *Cache) Get(addr uint64) (Line, bool) {
+	if l := c.find(addr); l != nil {
+		return *l, true
+	}
+	return Line{}, false
+}
+
+// Fill installs addr's line with the given permission and ASID, evicting
+// the set's LRU victim if necessary. If dirty is true the new line starts
+// dirty (write-allocate store). The evicted line, if any, is passed to
+// OnEvict and also returned.
+func (c *Cache) Fill(addr uint64, perm memory.Perm, asid memory.ASID, dirty bool) (evicted Line, evictedValid bool) {
+	c.tick++
+	c.stats.Fills++
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(addr)]
+	victim := 0
+	for i := range set {
+		if set[i].Valid && set[i].Addr == la {
+			// Refresh in place (e.g. racing fills).
+			set[i].lru = c.tick
+			set[i].lastAccess = c.now()
+			set[i].Perm = perm
+			if dirty {
+				set[i].Dirty = true
+			}
+			return Line{}, false
+		}
+		if !set[i].Valid {
+			victim = i
+		} else if set[victim].Valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].Valid {
+		evicted = set[victim]
+		evictedValid = true
+		c.evict(&set[victim])
+	}
+	now := c.now()
+	set[victim] = Line{Addr: la, Valid: true, Dirty: dirty, Perm: perm, ASID: asid, lru: c.tick, insertedAt: now, lastAccess: now}
+	return evicted, evictedValid
+}
+
+func (c *Cache) evict(l *Line) {
+	c.stats.Evictions++
+	if l.Dirty {
+		c.stats.Writebacks++
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(*l)
+	}
+	l.Valid = false
+}
+
+// InvalidateLine removes addr's line if resident, reporting (wasDirty,
+// wasResident).
+func (c *Cache) InvalidateLine(addr uint64) (bool, bool) {
+	if l := c.find(addr); l != nil {
+		dirty := l.Dirty
+		c.stats.Invalidated++
+		c.evict(l)
+		return dirty, true
+	}
+	return false, false
+}
+
+// InvalidatePage removes every line whose address falls in the 4KB page
+// containing pageAddr. It returns the number of lines invalidated.
+func (c *Cache) InvalidatePage(pageAddr uint64) int {
+	base := pageAddr &^ uint64(memory.PageSize-1)
+	n := 0
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			if set[i].Valid && set[i].Addr&^uint64(memory.PageSize-1) == base {
+				c.stats.Invalidated++
+				c.evict(&set[i])
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InvalidateAll flushes the cache, returning the number of lines dropped.
+func (c *Cache) InvalidateAll() int {
+	n := 0
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			if set[i].Valid {
+				c.stats.Invalidated++
+				c.evict(&set[i])
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LinesInPage counts resident lines belonging to pageAddr's page.
+func (c *Cache) LinesInPage(pageAddr uint64) int {
+	base := pageAddr &^ uint64(memory.PageSize-1)
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid && set[i].Addr&^uint64(memory.PageSize-1) == base {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DistinctPages counts the distinct 4KB pages with at least one resident
+// line (the paper reports ~6000 for a 2MB L2).
+func (c *Cache) DistinctPages() int {
+	pages := make(map[uint64]struct{})
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				pages[set[i].Addr>>memory.PageShift] = struct{}{}
+			}
+		}
+	}
+	return len(pages)
+}
+
+// Resident returns the number of valid lines.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{%dKB, %dB lines, %d-way, %s}", c.cfg.SizeBytes/1024, c.cfg.LineBytes, c.cfg.Assoc, c.cfg.Policy)
+}

@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 2 << 20, LineBytes: 128, Assoc: 16, Policy: WriteBack})
+	for i := 0; i < 1024; i++ {
+		c.Fill(uint64(i*128), memory.PermRead, 1, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%1024)*128, false)
+	}
+}
+
+func BenchmarkAccessMiss(b *testing.B) {
+	c := New(Config{SizeBytes: 32 * 1024, LineBytes: 128, Assoc: 8, Policy: WriteThroughNoAllocate})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*4096, false)
+	}
+}
+
+func BenchmarkFillWithEviction(b *testing.B) {
+	c := New(Config{SizeBytes: 32 * 1024, LineBytes: 128, Assoc: 8, Policy: WriteBack})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*128, memory.PermRead, 1, false)
+	}
+}
+
+func BenchmarkInvalidatePage(b *testing.B) {
+	c := New(Config{SizeBytes: 2 << 20, LineBytes: 128, Assoc: 16, Policy: WriteBack})
+	for i := 0; i < memory.LinesPerPage; i++ {
+		c.Fill(uint64(i*128), memory.PermRead, 1, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InvalidatePage(0)
+	}
+}

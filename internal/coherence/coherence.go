@@ -1,0 +1,96 @@
+// Package coherence exercises the CPU side of the SoC's shared-memory
+// protocol: a directory-style prober that issues invalidating coherence
+// requests with physical addresses into the GPU. In the paper's design the
+// backward table doubles as a coherence filter — probes for data the GPU
+// does not cache never reach the GPU caches, and forwarded probes are
+// reverse-translated to the page's leading virtual address first.
+package coherence
+
+import (
+	"vcache/internal/memory"
+	"vcache/internal/sim"
+)
+
+// Target is the GPU-side interface the prober drives (implemented by
+// core.System).
+type Target interface {
+	// CPUProbe delivers one invalidating probe; it reports whether the
+	// probe reached (and invalidated data in) a GPU cache.
+	CPUProbe(pa memory.PAddr) bool
+	// Engine exposes the simulation clock for scheduling probe arrivals.
+	Engine() *sim.Engine
+	// Space exposes the shared address space (to find mapped frames).
+	Space() *memory.AddressSpace
+}
+
+// Stats counts prober activity.
+type Stats struct {
+	Issued    uint64
+	Forwarded uint64 // probes that reached GPU caches
+	Filtered  uint64 // probes filtered before touching GPU caches
+}
+
+// Prober issues a deterministic stream of CPU coherence probes.
+type Prober struct {
+	target Target
+	seed   uint64
+	stats  Stats
+}
+
+// NewProber creates a prober over the target with a deterministic seed.
+func NewProber(t Target, seed uint64) *Prober {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Prober{target: t, seed: seed}
+}
+
+// Stats returns a copy of the counters.
+func (p *Prober) Stats() Stats { return p.stats }
+
+func (p *Prober) next() uint64 {
+	p.seed ^= p.seed << 13
+	p.seed ^= p.seed >> 7
+	p.seed ^= p.seed << 17
+	return p.seed
+}
+
+// ProbeLine issues one probe for the line containing pa, now.
+func (p *Prober) ProbeLine(pa memory.PAddr) bool {
+	p.stats.Issued++
+	if p.target.CPUProbe(pa) {
+		p.stats.Forwarded++
+		return true
+	}
+	p.stats.Filtered++
+	return false
+}
+
+// ProbeVirtual translates va through the shared address space and probes
+// the backing physical line — how a CPU thread writing to shared data
+// generates ownership requests. Unmapped addresses count as filtered.
+func (p *Prober) ProbeVirtual(va memory.VAddr) bool {
+	pa, _, ok := p.target.Space().Translate(va)
+	if !ok {
+		p.stats.Issued++
+		p.stats.Filtered++
+		return false
+	}
+	return p.ProbeLine(pa)
+}
+
+// Schedule enqueues count probes, one every interval cycles, sweeping the
+// given virtual region line by line in a deterministic pseudo-random
+// order. Call before (or while) the engine runs; probes interleave with
+// GPU traffic.
+func (p *Prober) Schedule(base memory.VAddr, bytes int, count int, interval uint64) {
+	lines := bytes / memory.LineSize
+	if lines <= 0 {
+		return
+	}
+	eng := p.target.Engine()
+	for i := 0; i < count; i++ {
+		va := base + memory.VAddr(int(p.next())%lines*memory.LineSize)
+		eng.Schedule(uint64(i+1)*interval, func() { p.ProbeVirtual(va) })
+	}
+}

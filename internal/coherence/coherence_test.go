@@ -1,0 +1,94 @@
+package coherence
+
+import (
+	"testing"
+
+	"vcache/internal/core"
+	"vcache/internal/memory"
+	"vcache/internal/trace"
+)
+
+func warmedSystem(t *testing.T, kind core.Config) (*core.System, memory.VAddr) {
+	t.Helper()
+	kind.GPU.NumCUs = 4
+	sys := core.New(kind)
+	const base = memory.VAddr(0x40000)
+	b := trace.NewBuilder("warm", 1, 4, 2)
+	addrs := make([]memory.VAddr, 16)
+	for i := range addrs {
+		addrs[i] = base + memory.VAddr(i*memory.LineSize)
+	}
+	b.Warp().Load(addrs...)
+	sys.Run(b.Build())
+	return sys, base
+}
+
+func TestProberForwardsCachedFiltersUncached(t *testing.T) {
+	sys, base := warmedSystem(t, core.DesignVC())
+	p := NewProber(sys, 7)
+	if !p.ProbeVirtual(base) {
+		t.Fatal("probe for cached line filtered")
+	}
+	if sys.L2().Probe(uint64(base)) {
+		t.Fatal("probe did not invalidate")
+	}
+	// Second probe for the same (now invalidated) line: filtered by the
+	// BT bit vector.
+	if p.ProbeVirtual(base) {
+		t.Fatal("probe for invalidated line forwarded")
+	}
+	// Unmapped region: filtered.
+	if p.ProbeVirtual(0xDEAD0000) {
+		t.Fatal("probe for unmapped address forwarded")
+	}
+	s := p.Stats()
+	if s.Issued != 3 || s.Forwarded != 1 || s.Filtered != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestProberAgainstPhysicalBaseline(t *testing.T) {
+	sys, base := warmedSystem(t, core.DesignBaseline512())
+	p := NewProber(sys, 7)
+	if !p.ProbeVirtual(base) {
+		t.Fatal("probe for cached line missed in physical L2")
+	}
+	if p.ProbeVirtual(base) {
+		t.Fatal("second probe found already-invalidated line")
+	}
+}
+
+func TestScheduledProbeStream(t *testing.T) {
+	sys, base := warmedSystem(t, core.DesignVC())
+	p := NewProber(sys, 42)
+	p.Schedule(base, 16*memory.LineSize, 50, 10)
+	sys.Engine().Run()
+	s := p.Stats()
+	if s.Issued != 50 {
+		t.Fatalf("issued %d probes, want 50", s.Issued)
+	}
+	if s.Forwarded == 0 {
+		t.Fatal("no probes were forwarded despite warm cache")
+	}
+	if s.Filtered == 0 {
+		t.Fatal("no probes were filtered despite invalidations")
+	}
+	// BT filter stats agree with prober counts for the VC design.
+	fbtStats := sys.FBT().Stats()
+	if fbtStats.CoherenceForwarded != s.Forwarded {
+		t.Fatalf("BT forwarded %d, prober saw %d", fbtStats.CoherenceForwarded, s.Forwarded)
+	}
+}
+
+func TestProberDeterminism(t *testing.T) {
+	run := func() Stats {
+		sys, base := warmedSystem(t, core.DesignVC())
+		p := NewProber(sys, 9)
+		p.Schedule(base, 16*memory.LineSize, 30, 5)
+		sys.Engine().Run()
+		return p.Stats()
+	}
+	if run() != run() {
+		t.Fatal("probe stream not deterministic")
+	}
+}

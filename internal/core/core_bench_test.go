@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"vcache/internal/trace"
+)
+
+// End-to-end simulator throughput: one small system processing a
+// divergent trace under each MMU design.
+
+func benchTrace() *trace.Trace {
+	return divergentTrace("bench", 400, 300)
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	tr := benchTrace()
+	var reqs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Run(smallCfg(cfg), tr)
+		reqs = r.GPU.CoalescedReqs
+	}
+	b.ReportMetric(float64(reqs), "coalesced-reqs")
+}
+
+func BenchmarkRunIdeal(b *testing.B)       { benchRun(b, DesignIdeal()) }
+func BenchmarkRunBaseline512(b *testing.B) { benchRun(b, DesignBaseline512()) }
+func BenchmarkRunVCOpt(b *testing.B)       { benchRun(b, DesignVCOpt()) }
+func BenchmarkRunL1OnlyVC(b *testing.B)    { benchRun(b, DesignL1OnlyVC(32)) }

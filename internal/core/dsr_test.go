@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+	"vcache/internal/trace"
+)
+
+// Dynamic synonym remapping (§4.3): after one synonym replay, the per-CU
+// remap table redirects further accesses to the leading page, so virtual
+// cache lookups hit directly.
+
+func dsrSystem(t *testing.T, dsr bool) *System {
+	t.Helper()
+	cfg := smallCfg(DesignVCOpt())
+	if dsr {
+		cfg = smallCfg(DesignVCOptDSR())
+	}
+	sys := New(cfg)
+	sys.Space().EnsureMapped(0x100000)
+	sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
+	return sys
+}
+
+// synonymHammer loads the alias repeatedly from one CU, serialized by
+// barriers so each access observes the previous one's effects.
+func synonymHammer(n int) *trace.Trace {
+	b := trace.NewBuilder("hammer", 1, 4, 2)
+	b.Warp().Load(0x100000) // establish the leading page
+	b.Barrier()
+	for i := 0; i < n; i++ {
+		b.Warp().Load(0x900000)
+		b.Barrier()
+	}
+	return b.Build()
+}
+
+func TestDSRStopsRepeatedReplays(t *testing.T) {
+	const accesses = 6
+
+	plain := dsrSystem(t, false)
+	rp := plain.Run(synonymHammer(accesses))
+	if rp.SynonymReplays != accesses {
+		t.Fatalf("without DSR: %d replays, want %d (one per access)", rp.SynonymReplays, accesses)
+	}
+
+	dsr := dsrSystem(t, true)
+	rd := dsr.Run(synonymHammer(accesses))
+	if rd.SynonymReplays != 1 {
+		t.Fatalf("with DSR: %d replays, want 1", rd.SynonymReplays)
+	}
+	if rd.RemapHits < accesses-1 {
+		t.Fatalf("remap hits = %d, want >= %d", rd.RemapHits, accesses-1)
+	}
+	if rd.Faults.RWSynonym != 0 {
+		t.Fatalf("DSR caused faults: %+v", rd.Faults)
+	}
+	// Remapped accesses must be faster end to end: they hit the caches
+	// instead of detouring through the IOMMU.
+	if rd.Cycles >= rp.Cycles {
+		t.Fatalf("DSR (%d cycles) not faster than replaying (%d)", rd.Cycles, rp.Cycles)
+	}
+	// Still no duplication: data cached only under the leading address.
+	if dsr.L2().Probe(0x900000) {
+		t.Fatal("synonym address cached")
+	}
+}
+
+func TestDSRClearsOnShootdown(t *testing.T) {
+	sys := dsrSystem(t, true)
+	sys.Run(synonymHammer(3))
+	sys.Shootdown(0x100000)
+	for cu := range sys.remaps {
+		if sys.remaps[cu].len() != 0 {
+			t.Fatal("remap table survived shootdown")
+		}
+	}
+}
+
+func TestRemapTableFIFO(t *testing.T) {
+	r := newRemapTable(2)
+	r.put(1, 101)
+	r.put(2, 102)
+	r.put(1, 111) // update in place, no eviction
+	if v, _ := r.get(1); v != 111 {
+		t.Fatalf("update lost: %d", v)
+	}
+	r.put(3, 103) // evicts oldest (1)
+	if _, ok := r.get(1); ok {
+		t.Fatal("FIFO victim survived")
+	}
+	if _, ok := r.get(2); !ok {
+		t.Fatal("younger entry evicted")
+	}
+	if r.len() != 2 {
+		t.Fatalf("len = %d", r.len())
+	}
+	r.clear()
+	if r.len() != 0 {
+		t.Fatal("clear failed")
+	}
+	if newRemapTable(0).cap != 32 {
+		t.Fatal("default capacity wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"vcache/internal/memory"
+)
+
+// Shootdown performs a single-entry TLB shootdown for va's page across the
+// GPU: per-CU TLBs, the shared IOMMU TLB, and — in the virtual-cache
+// designs — the FBT (whose eviction path invalidates the page's cached
+// data) or the virtual L1s directly. Call between runs or from an engine
+// event.
+func (s *System) Shootdown(va memory.VAddr) {
+	vpn := va.Page()
+	for _, t := range s.cuTLBs {
+		t.InvalidatePage(s.asid, vpn)
+	}
+	for _, t := range s.cuTLB2s {
+		t.InvalidatePage(s.asid, vpn)
+	}
+	s.io.Shootdown(s.asid, vpn)
+	switch s.cfg.Kind {
+	case VirtualHierarchy:
+		// The FT filters shootdowns for pages with no cached data; a hit
+		// locks and evicts the entry, invalidating L2 lines via the bit
+		// vector and flushing matching L1s (onFBTEvict). Remappings to or
+		// from the page go stale, so the remap tables flush.
+		s.fbt.Shootdown(s.asid, vpn)
+		s.clearRemaps()
+	case L1OnlyVirtual:
+		// Virtual L1s hold lines under virtual addresses: invalidate the
+		// page in each of them.
+		for cu, l1 := range s.l1s {
+			if l1.InvalidatePage(s.vkey(va)) > 0 {
+				delete(s.filters[cu], vpn)
+			}
+		}
+	}
+}
+
+// FlushGPU performs an all-entry shootdown: every TLB is flushed and, for
+// the virtual hierarchy, the FBT is drained (flushing all cached data).
+func (s *System) FlushGPU() {
+	for _, t := range s.cuTLBs {
+		t.InvalidateAll()
+	}
+	for _, t := range s.cuTLB2s {
+		t.InvalidateAll()
+	}
+	s.io.TLB().InvalidateAll()
+	if s.fbt != nil {
+		s.fbt.FlushAll()
+	}
+}
+
+// CPUProbe models an invalidating coherence probe arriving from the CPU
+// directory with a physical address. In the virtual hierarchy the BT acts
+// as a coherence filter and reverse-translates the probe to the leading
+// virtual address before it touches GPU caches; in the physical designs
+// the probe indexes the L2 directly. It reports whether the probe reached
+// (and invalidated data in) a GPU cache.
+func (s *System) CPUProbe(pa memory.PAddr) bool {
+	line := pa.Line()
+	if s.cfg.Kind == VirtualHierarchy {
+		va, asid, fwd := s.fbt.FilterProbe(line)
+		if !fwd {
+			return false
+		}
+		_, was := s.l2.InvalidateLine(s.vkeyFor(va, asid)) // OnEvict clears the BT bit
+		return was
+	}
+	_, was := s.l2.InvalidateLine(uint64(line))
+	return was
+}
+
+// ChangePermission updates a page's permission and performs the required
+// shootdown, modeling an mprotect-style OS action.
+func (s *System) ChangePermission(va memory.VAddr, perm memory.Perm) bool {
+	if !s.as.Protect(va, perm) {
+		return false
+	}
+	s.Shootdown(va)
+	return true
+}
+
+// UnmapPage removes a page's mapping and performs the required shootdown.
+func (s *System) UnmapPage(va memory.VAddr) bool {
+	if _, _, ok := s.as.Translate(va); !ok {
+		return false
+	}
+	s.Shootdown(va)
+	return s.as.Unmap(va)
+}

@@ -1,0 +1,53 @@
+package core
+
+import "vcache/internal/memory"
+
+// remapTable implements the dynamic synonym remapping of §4.3 (from the
+// authors' earlier ASDT design): a small per-CU table mapping a non-leading
+// virtual page to the page's leading virtual page. Remapped accesses look
+// up the virtual caches under the leading address directly, so active
+// synonym pages stop missing and replaying on every access. Entries are
+// installed when the FBT detects a synonym and are flushed conservatively
+// on shootdowns and context switches.
+type remapTable struct {
+	cap   int
+	m     map[memory.VPN]memory.VPN
+	order []memory.VPN // FIFO replacement
+}
+
+func newRemapTable(capacity int) *remapTable {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &remapTable{cap: capacity, m: make(map[memory.VPN]memory.VPN)}
+}
+
+// get returns the leading VPN for vpn, if remapped.
+func (r *remapTable) get(vpn memory.VPN) (memory.VPN, bool) {
+	lead, ok := r.m[vpn]
+	return lead, ok
+}
+
+// put installs vpn -> lead, evicting the oldest entry at capacity.
+func (r *remapTable) put(vpn, lead memory.VPN) {
+	if _, ok := r.m[vpn]; ok {
+		r.m[vpn] = lead
+		return
+	}
+	if len(r.m) >= r.cap {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		delete(r.m, victim)
+	}
+	r.m[vpn] = lead
+	r.order = append(r.order, vpn)
+}
+
+// clear drops every entry.
+func (r *remapTable) clear() {
+	r.m = make(map[memory.VPN]memory.VPN)
+	r.order = r.order[:0]
+}
+
+// len returns the live entry count.
+func (r *remapTable) len() int { return len(r.m) }

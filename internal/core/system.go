@@ -1,0 +1,404 @@
+package core
+
+import (
+	"vcache/internal/cache"
+	"vcache/internal/dram"
+	"vcache/internal/fbt"
+	"vcache/internal/gpu"
+	"vcache/internal/iommu"
+	"vcache/internal/memory"
+	"vcache/internal/noc"
+	"vcache/internal/ptw"
+	"vcache/internal/sim"
+	"vcache/internal/stats"
+	"vcache/internal/tlb"
+	"vcache/internal/trace"
+)
+
+// FaultCounts records exceptional events during a run.
+type FaultCounts struct {
+	PageFaults uint64 // translation found no mapping
+	PermFaults uint64 // access violated page permissions
+	RWSynonym  uint64 // read-write synonym detected at the FBT
+}
+
+// ProbeBreakdown classifies per-CU TLB misses by where the requested data
+// resided at miss time (Figure 2). Only meaningful for designs with per-CU
+// TLBs and ProbeResidency enabled.
+type ProbeBreakdown struct {
+	TLBMisses uint64
+	L1Hit     uint64
+	L2Hit     uint64
+	MemAccess uint64
+}
+
+// FilteredRatio returns the fraction of TLB misses that found data in the
+// cache hierarchy (the paper's headline 66%).
+func (p ProbeBreakdown) FilteredRatio() float64 {
+	if p.TLBMisses == 0 {
+		return 0
+	}
+	return float64(p.L1Hit+p.L2Hit) / float64(p.TLBMisses)
+}
+
+// Lifetimes holds residence-time CDFs for the appendix figure.
+type Lifetimes struct {
+	TLBEntries stats.CDF // per-CU TLB entry residence
+	L1Data     stats.CDF // L1 line active lifetime
+	L2Data     stats.CDF // L2 line active lifetime
+}
+
+// System is a fully assembled SoC ready to run one trace.
+type System struct {
+	cfg     Config
+	eng     *sim.Engine
+	net     *noc.Network
+	mem     *dram.DRAM
+	as      *memory.AddressSpace
+	spaces  map[memory.ASID]*memory.AddressSpace
+	alloc   *memory.FrameAlloc
+	walker  *ptw.Walker
+	gpu     *gpu.GPU
+	io      *iommu.IOMMU
+	fbt     *fbt.FBT
+	l2      *cache.Cache
+	l2banks []*sim.Server
+	l1s     []*cache.Cache
+	cuTLBs  []*tlb.TLB
+	cuTLB2s []*tlb.TLB           // optional private second-level TLBs
+	filters []map[memory.VPN]int // per-CU L1 invalidation filters
+	remaps  []*remapTable        // per-CU dynamic synonym remap tables
+
+	asid memory.ASID
+
+	probe     ProbeBreakdown
+	faults    FaultCounts
+	lifetimes *Lifetimes
+
+	// tlbPending merges concurrent same-page TLB misses per CU; l2Pending
+	// merges concurrent misses to the same line (MSHR behaviour).
+	tlbPending []map[memory.VPN][]func(memory.PTE, bool)
+	l2Pending  map[uint64][]lineWaiter
+	tlbMerges  uint64
+	lineMerges uint64
+
+	synonymReplays uint64
+	remapHits      uint64 // synonym accesses redirected by remap tables
+	l1FullFlushes  uint64 // conservative whole-L1 invalidations
+	fbtInvalLines  uint64 // L2 lines invalidated on FBT eviction/shootdown
+	l2PagePeak     int    // max distinct pages seen in L2 (sampled on fills)
+	fillsSincePage int
+	finishCycle    uint64 // cycle the last warp retired
+}
+
+// New assembles a system from cfg.
+func New(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.New()
+	s := &System{cfg: cfg, eng: eng}
+
+	s.net = noc.New(eng)
+	s.net.AddLink(noc.CUToL2, cfg.Lat.CUToL2, 0)
+	s.net.AddLink(noc.CUToIOMMU, cfg.Lat.CUToIOMMU, 0)
+	s.net.AddLink(noc.L2ToIOMMU, cfg.Lat.L2ToIOMMU, 0)
+
+	s.mem = dram.New(eng, cfg.DRAM)
+	s.alloc = memory.NewFrameAlloc(1 << 20)
+	s.as = memory.NewAddressSpace(1, s.alloc)
+	s.asid = s.as.ID
+	s.spaces = map[memory.ASID]*memory.AddressSpace{s.asid: s.as}
+
+	s.walker = ptw.New(eng, cfg.IOMMU.Walker, s.as.Table, s.mem)
+	s.io = iommu.New(eng, cfg.IOMMU, s.walker)
+
+	// Shared L2 and its banks.
+	s.l2 = cache.New(cfg.L2)
+	s.l2.Clock = eng.Now
+	banks := cfg.L2.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	for i := 0; i < banks; i++ {
+		s.l2banks = append(s.l2banks, sim.NewServer(eng, cfg.L2BankPorts))
+	}
+
+	// Per-CU L1s, TLBs, invalidation filters, and TLB-miss MSHRs.
+	s.l2Pending = make(map[uint64][]lineWaiter)
+	for i := 0; i < cfg.GPU.NumCUs; i++ {
+		l1 := cache.New(cfg.L1)
+		l1.Clock = eng.Now
+		s.l1s = append(s.l1s, l1)
+		s.filters = append(s.filters, make(map[memory.VPN]int))
+		s.tlbPending = append(s.tlbPending, make(map[memory.VPN][]func(memory.PTE, bool)))
+		if cfg.DynamicSynonymRemap {
+			s.remaps = append(s.remaps, newRemapTable(cfg.RemapEntries))
+		}
+		t := tlb.New(cfg.PerCUTLB)
+		t.Clock = eng.Now
+		s.cuTLBs = append(s.cuTLBs, t)
+		if cfg.PerCUTLB2 != (tlb.Config{}) {
+			t2 := tlb.New(cfg.PerCUTLB2)
+			t2.Clock = eng.Now
+			s.cuTLB2s = append(s.cuTLB2s, t2)
+		}
+	}
+
+	if cfg.Kind == VirtualHierarchy {
+		s.fbt = fbt.New(cfg.FBT)
+		if cfg.UseFBTSecondLevel {
+			s.io.SecondLevel = s.fbt
+		}
+		s.fbt.OnEvict = s.onFBTEvict
+		s.l2.OnEvict = s.onVirtualL2Evict
+	} else {
+		s.l2.OnEvict = s.onPhysicalL2Evict
+	}
+	for cu := range s.l1s {
+		cu := cu
+		s.l1s[cu].OnEvict = func(l cache.Line) { s.onL1Evict(cu, l) }
+	}
+
+	if cfg.TrackLifetimes {
+		s.lifetimes = &Lifetimes{}
+		for _, t := range s.cuTLBs {
+			t.OnEvict = func(e tlb.Entry, life uint64) {
+				s.lifetimes.TLBEntries.Add(float64(life))
+			}
+		}
+	}
+
+	s.gpu = gpu.New(eng, cfg.GPU, s)
+	return s
+}
+
+// Engine exposes the event engine (examples and tests drive it directly
+// for coherence/shootdown scenarios).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Space exposes the current address space so callers can install synonym
+// mappings or change permissions before (or between) runs.
+func (s *System) Space() *memory.AddressSpace { return s.as }
+
+// SpaceFor returns the address space for asid, creating it on first use.
+// All spaces share one physical frame allocator.
+func (s *System) SpaceFor(asid memory.ASID) *memory.AddressSpace {
+	if sp, ok := s.spaces[asid]; ok {
+		return sp
+	}
+	sp := memory.NewAddressSpace(asid, s.alloc)
+	s.spaces[asid] = sp
+	return sp
+}
+
+// contextSwitch makes asid the running address space. TLBs are ASID-tagged
+// and keep their entries. With Config.ASIDTags the virtual caches keep
+// their (ASID-extended) contents too — the paper's §4.3 homonym handling;
+// without tags, the virtual caches and FBT must flush, like a
+// conventional virtually-tagged cache on a process switch.
+func (s *System) contextSwitch(asid memory.ASID) {
+	if asid == s.asid {
+		return
+	}
+	if !s.cfg.ASIDTags && (s.cfg.Kind == VirtualHierarchy || s.cfg.Kind == L1OnlyVirtual) {
+		s.FlushGPU()
+		if s.cfg.Kind == VirtualHierarchy {
+			for cu := range s.l1s {
+				s.l1s[cu].InvalidateAll()
+				s.filters[cu] = make(map[memory.VPN]int)
+			}
+		}
+	}
+	s.as = s.SpaceFor(asid)
+	s.asid = asid
+	s.walker.SetTable(s.as.Table)
+	s.clearRemaps()
+}
+
+// clearRemaps conservatively drops all dynamic synonym remappings (their
+// leading pages may no longer be leading).
+func (s *System) clearRemaps() {
+	for _, r := range s.remaps {
+		r.clear()
+	}
+}
+
+// vkeyFor forms the virtual-cache lookup key for an address in the given
+// space: with ASID tags the space id extends the tag so homonyms can never
+// alias (the paper's §4.3 multi-process support).
+func (s *System) vkeyFor(va memory.VAddr, asid memory.ASID) uint64 {
+	if s.cfg.ASIDTags {
+		return uint64(va) | uint64(asid)<<52
+	}
+	return uint64(va)
+}
+
+// vkey forms the lookup key under the running address space.
+func (s *System) vkey(va memory.VAddr) uint64 { return s.vkeyFor(va, s.asid) }
+
+// vunkey recovers the virtual address from a cache key.
+func vunkey(key uint64) memory.VAddr { return memory.VAddr(key & (1<<52 - 1)) }
+
+// FBT exposes the forward-backward table (nil outside VirtualHierarchy).
+func (s *System) FBT() *fbt.FBT { return s.fbt }
+
+// IOMMU exposes the translation unit.
+func (s *System) IOMMU() *iommu.IOMMU { return s.io }
+
+// L2 exposes the shared cache.
+func (s *System) L2() *cache.Cache { return s.l2 }
+
+// L1 exposes a per-CU cache.
+func (s *System) L1(cu int) *cache.Cache { return s.l1s[cu] }
+
+// PerCUTLB exposes a per-CU TLB.
+func (s *System) PerCUTLB(cu int) *tlb.TLB { return s.cuTLBs[cu] }
+
+// Prepare demand-maps every page the trace touches, modeling a warmed-up
+// process whose working set has already minor-faulted in (the paper
+// measures steady-state translation behaviour, not first-touch OS faults).
+// Pages already mapped — e.g. synonym aliases installed via Space() — are
+// left untouched.
+func (s *System) Prepare(tr *trace.Trace) {
+	for _, cu := range tr.CUs {
+		for _, w := range cu.Warps {
+			for _, in := range w {
+				if in.Kind == trace.Load || in.Kind == trace.Store {
+					for _, a := range in.Addrs {
+						if s.cfg.LargePages {
+							s.as.EnsureMappedLarge(a)
+						} else {
+							s.as.EnsureMapped(a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Run prepares and executes the trace to completion, returning results.
+func (s *System) Run(tr *trace.Trace) Results {
+	s.contextSwitch(tr.ASID)
+	s.Prepare(tr)
+	completed := false
+	s.gpu.Launch(tr, func() {
+		completed = true
+		s.finishCycle = s.eng.Now()
+	})
+	s.eng.Run() // drains trailing store/writeback events past finishCycle
+	if !completed {
+		panic("core: engine drained before GPU completed (deadlock)")
+	}
+	s.io.ExtendSampling()
+	return s.results(tr)
+}
+
+// onL1Evict maintains the invalidation filter counts and lifetime CDF.
+func (s *System) onL1Evict(cu int, l cache.Line) {
+	if s.cfg.Kind == VirtualHierarchy || s.cfg.Kind == L1OnlyVirtual {
+		vpn := vunkey(l.Addr).Page()
+		if n := s.filters[cu][vpn]; n > 1 {
+			s.filters[cu][vpn] = n - 1
+		} else {
+			delete(s.filters[cu], vpn)
+		}
+	}
+	if s.lifetimes != nil {
+		s.lifetimes.L1Data.Add(float64(l.ActiveLifetime()))
+	}
+	// Write-through L1s never hold dirty data; nothing to write back.
+}
+
+// trackL1Fill bumps the invalidation filter when a line enters an L1.
+func (s *System) trackL1Fill(cu int, va memory.VAddr) {
+	if s.cfg.Kind == VirtualHierarchy || s.cfg.Kind == L1OnlyVirtual {
+		s.filters[cu][va.Page()]++
+	}
+}
+
+// onVirtualL2Evict keeps the BT bit vectors inclusive of the L2 and writes
+// back dirty lines.
+func (s *System) onVirtualL2Evict(l cache.Line) {
+	va := vunkey(l.Addr)
+	s.fbt.ClearLine(l.ASID, va.Page(), va.LineIndex())
+	if l.Dirty {
+		s.mem.Access(true, func() {})
+	}
+	if s.lifetimes != nil {
+		s.lifetimes.L2Data.Add(float64(l.ActiveLifetime()))
+	}
+}
+
+// onPhysicalL2Evict writes back dirty lines.
+func (s *System) onPhysicalL2Evict(l cache.Line) {
+	if l.Dirty {
+		s.mem.Access(true, func() {})
+	}
+	if s.lifetimes != nil {
+		s.lifetimes.L2Data.Add(float64(l.ActiveLifetime()))
+	}
+}
+
+// onFBTEvict implements §4.2: on FBT entry eviction (or shootdown), the
+// page's L2 lines are selectively invalidated via the bit vector, and each
+// CU whose invalidation filter matches conservatively flushes its whole L1
+// (GPU L1s support no probes). Write-through L1s lose no dirty data.
+func (s *System) onFBTEvict(v fbt.View) {
+	base := v.LVPN.Base()
+	for idx := 0; idx < memory.LinesPerPage; idx++ {
+		if v.BitVec&(1<<uint(idx)) == 0 {
+			continue
+		}
+		addr := s.vkeyFor(base+memory.VAddr(idx*memory.LineSize), v.ASID)
+		if dirty, was := s.l2.InvalidateLine(addr); was {
+			s.fbtInvalLines++
+			if dirty {
+				s.mem.Access(true, func() {})
+			}
+		}
+	}
+	if !s.cfg.InvFilter {
+		// Without filters every L1 must flush.
+		for cu := range s.l1s {
+			s.flushL1(cu)
+		}
+		return
+	}
+	for cu := range s.l1s {
+		if s.filters[cu][v.LVPN] > 0 {
+			s.flushL1(cu)
+		}
+	}
+}
+
+func (s *System) flushL1(cu int) {
+	if s.l1s[cu].Resident() == 0 {
+		return
+	}
+	s.l1FullFlushes++
+	s.l1s[cu].InvalidateAll()
+	s.filters[cu] = make(map[memory.VPN]int)
+}
+
+// fault records an exceptional event per the configured policy.
+func (s *System) fault(kind string, c *uint64) {
+	*c++
+	if s.cfg.Faults == PanicOnFault {
+		panic("core: fault: " + kind)
+	}
+}
+
+// sampleL2Pages opportunistically tracks the distinct-page peak (the
+// paper's ~6000 pages observation) without scanning on every fill.
+func (s *System) sampleL2Pages() {
+	s.fillsSincePage++
+	if s.fillsSincePage < 2048 {
+		return
+	}
+	s.fillsSincePage = 0
+	if n := s.l2.DistinctPages(); n > s.l2PagePeak {
+		s.l2PagePeak = n
+	}
+}

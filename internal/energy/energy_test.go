@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"testing"
+
+	"vcache/internal/core"
+	"vcache/internal/memory"
+	"vcache/internal/trace"
+)
+
+func runWorkload(t *testing.T, cfg core.Config) core.Results {
+	t.Helper()
+	cfg.GPU.NumCUs = 4
+	b := trace.NewBuilder("e", 1, 4, 2)
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 300; i++ {
+		addrs := make([]memory.VAddr, 16)
+		for l := range addrs {
+			r := next()
+			addrs[l] = memory.VAddr((r%200)*memory.PageSize + ((r>>32)%8)*memory.LineSize)
+		}
+		b.Warp().Load(addrs...)
+	}
+	return core.Run(cfg, b.Build())
+}
+
+func TestVirtualCachingSavesTranslationEnergy(t *testing.T) {
+	p := DefaultParams()
+	base := runWorkload(t, core.DesignBaseline512())
+	vc := runWorkload(t, core.DesignVCOpt())
+	eb := Estimate(p, base, 512)
+	ev := Estimate(p, vc, 512)
+	// The headline §5.3 claim: no per-access TLB lookups in the VC design.
+	if ev.PerCUTLB != 0 {
+		t.Fatalf("VC design spent %.3fuJ on per-CU TLBs", ev.PerCUTLB)
+	}
+	if eb.PerCUTLB == 0 {
+		t.Fatal("baseline spent nothing on per-CU TLBs")
+	}
+	transBase := eb.PerCUTLB + eb.SharedTLB + eb.Walker
+	transVC := ev.PerCUTLB + ev.SharedTLB + ev.FBT + ev.Walker
+	if transVC >= transBase {
+		t.Fatalf("VC translation energy %.3fuJ not below baseline %.3fuJ", transVC, transBase)
+	}
+}
+
+func TestBreakdownTotalsAndShares(t *testing.T) {
+	p := DefaultParams()
+	r := runWorkload(t, core.DesignBaseline512())
+	b := Estimate(p, r, 512)
+	sum := b.PerCUTLB + b.SharedTLB + b.FBT + b.Walker + b.L1 + b.L2 + b.DRAM + b.NoC
+	if diff := sum - b.Total(); diff > 1e-12 || diff < -1e-12 {
+		t.Fatal("Total does not sum components")
+	}
+	if s := b.TranslationShare(); s <= 0 || s >= 1 {
+		t.Fatalf("translation share = %v", s)
+	}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+	if (Breakdown{}).TranslationShare() != 0 {
+		t.Fatal("zero breakdown share not 0")
+	}
+}
+
+func TestLargeSharedTLBCostsMore(t *testing.T) {
+	p := DefaultParams()
+	r := runWorkload(t, core.DesignBaseline16K())
+	small := Estimate(p, r, 512)
+	big := Estimate(p, r, 16384)
+	if big.SharedTLB <= small.SharedTLB {
+		t.Fatal("16K-entry TLB lookups not costlier than 512-entry")
+	}
+}
+
+func TestDRAMDominatesAbsolutes(t *testing.T) {
+	// Sanity on constants: DRAM should be the largest single component for
+	// a memory-bound run (as in real systems).
+	p := DefaultParams()
+	r := runWorkload(t, core.DesignIdeal())
+	b := Estimate(p, r, 512)
+	for name, v := range map[string]float64{
+		"perCU": b.PerCUTLB, "shared": b.SharedTLB, "fbt": b.FBT,
+		"walker": b.Walker, "l1": b.L1, "l2": b.L2, "noc": b.NoC,
+	} {
+		if v > b.DRAM {
+			t.Fatalf("%s (%.3f) exceeds DRAM (%.3f)", name, v, b.DRAM)
+		}
+	}
+}

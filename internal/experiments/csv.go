@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// csvColumns defines the flat export schema for a run's key metrics.
+var csvColumns = []string{
+	"workload", "design", "cycles",
+	"percu_tlb_accesses", "percu_tlb_misses", "percu_tlb_miss_ratio",
+	"iommu_requests", "iommu_tlb_misses", "iommu_fbt_hits", "iommu_walks",
+	"iommu_queue_delay", "iommu_rate_mean", "iommu_rate_max",
+	"l1_hit_ratio", "l2_hit_ratio", "l2_distinct_pages",
+	"dram_reads", "dram_writes",
+	"fbt_allocations", "fbt_evictions", "synonym_replays",
+	"probe_tlb_misses", "probe_l1_hits", "probe_l2_hits", "probe_mem",
+	"page_faults", "perm_faults", "rw_synonym_faults",
+}
+
+// WriteCSV dumps every memoized run as one CSV row, sorted by workload
+// then design, so sweeps can be analysed outside Go.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvColumns); err != nil {
+		return err
+	}
+	f := func(x float64) string { return fmt.Sprintf("%.6f", x) }
+	u := func(x uint64) string { return fmt.Sprintf("%d", x) }
+	for _, k := range keys {
+		r := s.results[k]
+		row := []string{
+			r.Workload, r.Design, u(r.Cycles),
+			u(r.PerCUTLB.Accesses()), u(r.PerCUTLB.Misses), f(r.PerCUTLBMissRatio()),
+			u(r.IOMMU.Requests), u(r.IOMMU.TLBMisses), u(r.IOMMU.FBTHits), u(r.IOMMU.Walks),
+			u(r.IOMMU.QueueDelay), f(r.IOMMURate.Mean), f(r.IOMMURate.Max),
+			f(r.L1.HitRatio()), f(r.L2.HitRatio()), u(uint64(r.L2DistinctPages)),
+			u(r.DRAM.Reads), u(r.DRAM.Writes),
+			u(r.FBT.Allocations), u(r.FBT.Evictions), u(r.SynonymReplays),
+			u(r.Probe.TLBMisses), u(r.Probe.L1Hit), u(r.Probe.L2Hit), u(r.Probe.MemAccess),
+			u(r.Faults.PageFaults), u(r.Faults.PermFaults), u(r.Faults.RWSynonym),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunCount returns how many simulations the suite has memoized.
+func (s *Suite) RunCount() int { return len(s.results) }

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. A Suite memoizes workload traces and simulation runs so
+// figures that share configurations (e.g. the Baseline 512 runs used by
+// Figures 2, 3, 4, 8 and 9) simulate each combination once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vcache/internal/core"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+// Suite runs experiments over a workload set.
+type Suite struct {
+	Params workloads.Params
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+
+	gens    []workloads.Generator
+	traces  map[string]*trace.Trace
+	results map[string]core.Results
+}
+
+// New builds a suite over the named workloads (empty = the full catalog).
+func New(p workloads.Params, subset []string) (*Suite, error) {
+	s := &Suite{
+		Params:  p,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[string]core.Results),
+	}
+	if len(subset) == 0 {
+		s.gens = workloads.All()
+		return s, nil
+	}
+	for _, name := range subset {
+		g, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		s.gens = append(s.gens, g)
+	}
+	return s, nil
+}
+
+// Workloads returns the suite's generators.
+func (s *Suite) Workloads() []workloads.Generator { return s.gens }
+
+func (s *Suite) highBandwidth() []workloads.Generator {
+	var out []workloads.Generator
+	for _, g := range s.gens {
+		if g.HighBandwidth {
+			out = append(out, g)
+		}
+	}
+	if len(out) == 0 {
+		return s.gens
+	}
+	return out
+}
+
+// Trace builds (and caches) the named workload's trace.
+func (s *Suite) Trace(name string) *trace.Trace {
+	if tr, ok := s.traces[name]; ok {
+		return tr
+	}
+	g, ok := workloads.ByName(name)
+	if !ok {
+		panic("experiments: unknown workload " + name)
+	}
+	tr := g.Build(s.Params)
+	s.traces[name] = tr
+	return tr
+}
+
+// Run simulates workload wl under cfg, memoized on (wl, cfg.Name). Configs
+// with the same Name must be identical; the design presets guarantee this.
+func (s *Suite) Run(wl string, cfg core.Config) core.Results {
+	key := wl + "\x00" + cfg.Name
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	start := time.Now()
+	r := core.Run(cfg, s.Trace(wl))
+	if s.Progress != nil {
+		fmt.Fprintf(s.Progress, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
+			wl, cfg.Name, r.Cycles, time.Since(start).Seconds())
+	}
+	s.results[key] = r
+	return r
+}
+
+// baseline512 returns the Baseline 512 design with residency probing on,
+// so the same runs serve Figures 2, 3, 4, 8 and 9.
+func baseline512Probed() core.Config {
+	c := core.DesignBaseline512()
+	c.ProbeResidency = true
+	return c
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func sortByDesc(names []string, key map[string]float64) {
+	sort.SliceStable(names, func(i, j int) bool { return key[names[i]] > key[names[j]] })
+}

@@ -1,0 +1,375 @@
+// Package fbt implements the paper's forward-backward table, the structure
+// added to the IOMMU that makes a whole-hierarchy GPU virtual cache
+// practical.
+//
+// The backward table (BT) is set-associative, indexed and tagged by
+// physical page number. Each entry records the unique *leading* virtual
+// page (the first virtual address used to reference the physical page —
+// the only address allowed to place and look up the page's data in the
+// virtual caches), the page permissions, a 32-bit vector of which 128B
+// lines of the page are cached in the shared L2, and whether the page has
+// been written (for read-write synonym detection). The forward table (FT)
+// maps a leading virtual page back to its BT entry so the FBT can be
+// indexed by both physical and virtual addresses: coherence requests and
+// synonym checks arrive physical, while shootdowns, L2 evictions, and the
+// FBT-as-second-level-TLB optimization arrive virtual.
+package fbt
+
+import (
+	"fmt"
+
+	"vcache/internal/memory"
+)
+
+// Config sizes the BT. The paper models 16K entries (reach: 64MB, enough
+// for a unique page per 2MB-L2 line) with the FT provisioned to match.
+type Config struct {
+	Entries int
+	Assoc   int
+}
+
+// DefaultConfig matches the paper's 16K-entry FBT.
+func DefaultConfig() Config { return Config{Entries: 16384, Assoc: 8} }
+
+// ReachBytes returns how much data the configured BT can cover.
+func (c Config) ReachBytes() int { return c.Entries * memory.PageSize }
+
+// Outcome classifies a Check against the BT.
+type Outcome int
+
+// Check outcomes.
+const (
+	// Miss: no BT entry for the physical page; caller should Allocate.
+	Miss Outcome = iota
+	// Leading: entry exists and the access used the leading virtual page.
+	Leading
+	// Synonym: entry exists under a different (leading) virtual page; the
+	// access must be replayed with the leading address.
+	Synonym
+	// RWFault: a read-write synonym was detected; the paper's design
+	// conservatively faults because GPUs cannot recover precisely.
+	RWFault
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Leading:
+		return "leading"
+	case Synonym:
+		return "synonym"
+	case RWFault:
+		return "rw-fault"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// View is an exported snapshot of a BT entry.
+type View struct {
+	PPN     memory.PPN
+	ASID    memory.ASID
+	LVPN    memory.VPN
+	Perm    memory.Perm
+	BitVec  uint32
+	Written bool
+}
+
+type entry struct {
+	View
+	valid      bool
+	locked     bool
+	synonymUse bool // a non-leading access has touched this page
+	lru        uint64
+}
+
+type ftKey struct {
+	asid memory.ASID
+	vpn  memory.VPN
+}
+
+// Stats counts FBT activity.
+type Stats struct {
+	PPNLookups         uint64
+	PPNHits            uint64
+	Allocations        uint64
+	Evictions          uint64
+	SynonymAccesses    uint64
+	RWSynonymFaults    uint64
+	SecondaryTLBHits   uint64 // FT lookups that served as a 2nd-level TLB hit
+	SecondaryTLBMiss   uint64
+	ShootdownsApplied  uint64
+	ShootdownsFiltered uint64
+	CoherenceForwarded uint64 // physical probes with a BT match
+	CoherenceFiltered  uint64 // physical probes filtered (no GPU copy)
+}
+
+// FBT is the forward-backward table.
+type FBT struct {
+	cfg  Config
+	sets [][]entry
+	ft   map[ftKey]*entry
+	tick uint64
+	st   Stats
+
+	// OnEvict observes entries leaving the BT (capacity eviction or
+	// shootdown). The owner must invalidate the page's data in the virtual
+	// caches: L2 lines per the bit vector, L1s via the invalidation
+	// filters.
+	OnEvict func(v View)
+}
+
+// New builds an FBT.
+func New(cfg Config) *FBT {
+	if cfg.Assoc <= 0 || cfg.Assoc > cfg.Entries {
+		cfg.Assoc = cfg.Entries
+	}
+	sets := cfg.Entries / cfg.Assoc
+	if sets < 1 {
+		sets = 1
+	}
+	f := &FBT{cfg: cfg, ft: make(map[ftKey]*entry)}
+	f.sets = make([][]entry, sets)
+	for i := range f.sets {
+		f.sets[i] = make([]entry, cfg.Assoc)
+	}
+	return f
+}
+
+// Config returns the table's configuration.
+func (f *FBT) Config() Config { return f.cfg }
+
+// Stats returns a copy of the counters.
+func (f *FBT) Stats() Stats { return f.st }
+
+func (f *FBT) setIndex(ppn memory.PPN) int {
+	return int(uint64(ppn) % uint64(len(f.sets)))
+}
+
+func (f *FBT) findPPN(ppn memory.PPN) *entry {
+	set := f.sets[f.setIndex(ppn)]
+	for i := range set {
+		if set[i].valid && set[i].PPN == ppn {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// LookupPPN returns the entry for ppn, if present (reverse translation for
+// coherence, and the synonym check). Counted as a BT lookup.
+func (f *FBT) LookupPPN(ppn memory.PPN) (View, bool) {
+	f.st.PPNLookups++
+	if e := f.findPPN(ppn); e != nil {
+		f.st.PPNHits++
+		f.tick++
+		e.lru = f.tick
+		return e.View, true
+	}
+	return View{}, false
+}
+
+// Check classifies an access that missed the virtual caches: the virtual
+// address vpn was translated to ppn; is the page already cached under a
+// leading virtual address? Check updates written/synonym state and
+// detects read-write synonyms per the paper's conservative rule: fault on
+// a synonymous access to a previously-written page, and on a write to a
+// page previously accessed through a synonym.
+func (f *FBT) Check(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, write bool) (Outcome, View) {
+	f.st.PPNLookups++
+	e := f.findPPN(ppn)
+	if e == nil {
+		return Miss, View{}
+	}
+	f.st.PPNHits++
+	f.tick++
+	e.lru = f.tick
+	if e.ASID == asid && e.LVPN == vpn {
+		if write {
+			if e.synonymUse {
+				f.st.RWSynonymFaults++
+				return RWFault, e.View
+			}
+			e.Written = true
+		}
+		return Leading, e.View
+	}
+	// Non-leading (synonym) access.
+	f.st.SynonymAccesses++
+	if write || e.Written {
+		f.st.RWSynonymFaults++
+		return RWFault, e.View
+	}
+	e.synonymUse = true
+	return Synonym, e.View
+}
+
+// Allocate installs an entry making (asid, vpn) the leading virtual page
+// for ppn. The set's LRU victim, if valid, is evicted (OnEvict fires so the
+// owner can invalidate cached data). Allocating over an existing ppn entry
+// is a programming error and panics: callers must Check first.
+func (f *FBT) Allocate(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, perm memory.Perm, written bool) View {
+	if f.findPPN(ppn) != nil {
+		panic("fbt: Allocate for resident PPN; Check first")
+	}
+	f.st.Allocations++
+	f.tick++
+	set := f.sets[f.setIndex(ppn)]
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].locked {
+			continue
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		panic("fbt: all ways locked")
+	}
+	if set[victim].valid {
+		f.evict(&set[victim])
+	}
+	set[victim] = entry{
+		View:  View{PPN: ppn, ASID: asid, LVPN: vpn, Perm: perm, Written: written},
+		valid: true,
+		lru:   f.tick,
+	}
+	f.ft[ftKey{asid, vpn}] = &set[victim]
+	return set[victim].View
+}
+
+func (f *FBT) evict(e *entry) {
+	f.st.Evictions++
+	delete(f.ft, ftKey{e.ASID, e.LVPN})
+	e.valid = false
+	if f.OnEvict != nil {
+		f.OnEvict(e.View)
+	}
+}
+
+// SetLine marks line idx (0..31) of ppn's page as cached in the L2.
+func (f *FBT) SetLine(ppn memory.PPN, idx int) bool {
+	if e := f.findPPN(ppn); e != nil {
+		e.BitVec |= 1 << uint(idx)
+		return true
+	}
+	return false
+}
+
+// ClearLine clears line idx for the page whose leading virtual page is
+// (asid, vpn) — the FT path used on L2 evictions, which carry virtual
+// addresses. It reports whether an entry was found.
+func (f *FBT) ClearLine(asid memory.ASID, vpn memory.VPN, idx int) bool {
+	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+		e.BitVec &^= 1 << uint(idx)
+		return true
+	}
+	return false
+}
+
+// MarkWritten records that ppn's page has been written (stores observed at
+// the L2 / directory boundary).
+func (f *FBT) MarkWritten(ppn memory.PPN) {
+	if e := f.findPPN(ppn); e != nil {
+		e.Written = true
+	}
+}
+
+// MarkWrittenVPN records a write observed at the L2 under a leading
+// virtual page (L2 write hits carry no physical address; the FT resolves
+// them).
+func (f *FBT) MarkWrittenVPN(asid memory.ASID, vpn memory.VPN) {
+	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+		e.Written = true
+	}
+}
+
+// TranslateVPN consults the FT as a second-level TLB: given (asid, vpn), it
+// returns the matching physical page if vpn is a leading virtual page
+// with a live BT entry. This is the paper's "VC With OPT" path that removes
+// most page-table walks after shared-TLB misses.
+func (f *FBT) TranslateVPN(asid memory.ASID, vpn memory.VPN) (memory.PPN, memory.Perm, bool) {
+	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+		f.st.SecondaryTLBHits++
+		f.tick++
+		e.lru = f.tick
+		return e.PPN, e.Perm, true
+	}
+	f.st.SecondaryTLBMiss++
+	return 0, 0, false
+}
+
+// Shootdown handles a single-entry TLB shootdown for (asid, vpn). If the
+// page has a live BT entry it is locked, evicted (OnEvict drives the cache
+// invalidations), and the shootdown is acknowledged; otherwise the FT
+// filters the request. It reports whether invalidation work was needed.
+func (f *FBT) Shootdown(asid memory.ASID, vpn memory.VPN) bool {
+	e, ok := f.ft[ftKey{asid, vpn}]
+	if !ok || !e.valid {
+		f.st.ShootdownsFiltered++
+		return false
+	}
+	f.st.ShootdownsApplied++
+	e.locked = true
+	f.evict(e)
+	e.locked = false
+	return true
+}
+
+// FilterProbe implements the BT's coherence-filter role: a physical-address
+// probe from the directory/CPU is forwarded to the GPU caches only when
+// the BT holds the page. It returns the leading virtual address (and its
+// address space) of the probed line when forwarding is needed.
+func (f *FBT) FilterProbe(pa memory.PAddr) (memory.VAddr, memory.ASID, bool) {
+	e := f.findPPN(pa.Page())
+	if e == nil {
+		f.st.CoherenceFiltered++
+		return 0, 0, false
+	}
+	// A probe for a line the L2 doesn't hold and that can't be in the L1s
+	// either (never cached) is also filtered via the bit vector when clear.
+	idx := pa.LineIndex()
+	if e.BitVec&(1<<uint(idx)) == 0 {
+		f.st.CoherenceFiltered++
+		return 0, 0, false
+	}
+	f.st.CoherenceForwarded++
+	va := e.LVPN.Base() + memory.VAddr(uint64(pa)&(memory.PageSize-1))
+	return va, e.ASID, true
+}
+
+// FlushAll evicts every entry (all-entry shootdown: full cache flush).
+func (f *FBT) FlushAll() int {
+	n := 0
+	for si := range f.sets {
+		set := f.sets[si]
+		for i := range set {
+			if set[i].valid {
+				f.evict(&set[i])
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Len returns the number of live entries.
+func (f *FBT) Len() int { return len(f.ft) }
+
+// Entry returns the entry for ppn without counting a lookup (test/debug).
+func (f *FBT) Entry(ppn memory.PPN) (View, bool) {
+	if e := f.findPPN(ppn); e != nil {
+		return e.View, true
+	}
+	return View{}, false
+}
+
+func (f *FBT) String() string {
+	return fmt.Sprintf("fbt{entries: %d/%d, reach: %dMB}", f.Len(), f.cfg.Entries, f.cfg.ReachBytes()>>20)
+}

@@ -1,0 +1,50 @@
+package fbt
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+func warm(n int) *FBT {
+	f := New(DefaultConfig())
+	for i := 0; i < n; i++ {
+		f.Allocate(memory.PPN(i), 1, memory.VPN(i+1000), memory.PermRead, false)
+	}
+	return f
+}
+
+func BenchmarkCheckLeading(b *testing.B) {
+	f := warm(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := memory.PPN(i % 8192)
+		f.Check(p, 1, memory.VPN(int(p)+1000), false)
+	}
+}
+
+func BenchmarkCheckMiss(b *testing.B) {
+	f := warm(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Check(memory.PPN(i%1024+1<<20), 1, memory.VPN(i), false)
+	}
+}
+
+func BenchmarkTranslateVPN(b *testing.B) {
+	f := warm(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TranslateVPN(1, memory.VPN(i%8192+1000))
+	}
+}
+
+func BenchmarkSetClearLine(b *testing.B) {
+	f := warm(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := memory.PPN(i % 1024)
+		f.SetLine(p, i%32)
+		f.ClearLine(1, memory.VPN(int(p)+1000), i%32)
+	}
+}

@@ -1,0 +1,248 @@
+// Package gpu models the GPU front-end of the paper's SoC: 16 compute
+// units of 32 lanes, each holding many concurrent warp contexts to hide
+// memory latency. Warps replay trace instruction streams; global loads and
+// stores pass through the per-CU coalescer (lane addresses merge into the
+// minimum number of 128B line requests) and then enter the memory system
+// through a MemoryPath, which the core package implements differently for
+// each MMU design (physical baseline, ideal MMU, virtual cache hierarchy).
+// Scratchpad accesses complete locally without touching TLBs or caches, as
+// in the baseline system.
+package gpu
+
+import (
+	"fmt"
+
+	"vcache/internal/memory"
+	"vcache/internal/sim"
+	"vcache/internal/trace"
+)
+
+// MemoryPath is the interface between a CU and the memory system. Access
+// issues one coalesced line request; done fires when a load's data returns
+// (stores are retired by the path as it sees fit, but done must still be
+// called so the GPU can track drain state).
+type MemoryPath interface {
+	Access(cu int, addr memory.VAddr, write bool, done func())
+}
+
+// Config describes the GPU front-end.
+type Config struct {
+	// NumCUs is the compute unit count (paper: 16).
+	NumCUs int
+	// Lanes is the SIMD width per CU (paper: 32).
+	Lanes int
+	// IssuePerCycle bounds coalesced memory requests a CU issues per cycle.
+	IssuePerCycle int
+	// ScratchLatency is the scratchpad access time in cycles.
+	ScratchLatency uint64
+	// BlockOnStore makes warps wait for store completion. GPUs retire
+	// stores asynchronously, so the default (false) matches the paper.
+	BlockOnStore bool
+}
+
+// DefaultConfig matches Table 1.
+func DefaultConfig() Config {
+	return Config{NumCUs: 16, Lanes: 32, IssuePerCycle: 1, ScratchLatency: 4}
+}
+
+// Stats counts front-end activity.
+type Stats struct {
+	Instructions  uint64
+	MemInsts      uint64
+	LaneAccesses  uint64
+	CoalescedReqs uint64
+	ScratchOps    uint64
+	ComputeCycles uint64
+	Barriers      uint64
+}
+
+// GPU executes a trace against a MemoryPath.
+type GPU struct {
+	eng  *sim.Engine
+	cfg  Config
+	path MemoryPath
+	cus  []*cu
+	st   Stats
+
+	liveWarps  int
+	atBarrier  int
+	onComplete func()
+}
+
+type cu struct {
+	id    int
+	port  *sim.Server
+	warps []*warp
+}
+
+type warp struct {
+	g       *GPU
+	cu      *cu
+	stream  trace.WarpTrace
+	pc      int
+	pending int
+	waiting bool // at a barrier
+	done    bool
+}
+
+// New builds a GPU front-end over the given memory path.
+func New(eng *sim.Engine, cfg Config, path MemoryPath) *GPU {
+	if cfg.NumCUs <= 0 || cfg.Lanes <= 0 {
+		panic("gpu: invalid config")
+	}
+	g := &GPU{eng: eng, cfg: cfg, path: path}
+	for i := 0; i < cfg.NumCUs; i++ {
+		g.cus = append(g.cus, &cu{id: i, port: sim.NewServer(eng, cfg.IssuePerCycle)})
+	}
+	return g
+}
+
+// Stats returns a copy of the counters.
+func (g *GPU) Stats() Stats { return g.st }
+
+// Launch binds the trace's warp streams to CU contexts and schedules them
+// to begin at the current cycle. onComplete fires when every warp has
+// retired its last instruction. Launch panics if the trace has more CUs
+// than the GPU.
+func (g *GPU) Launch(tr *trace.Trace, onComplete func()) {
+	if len(tr.CUs) > len(g.cus) {
+		panic(fmt.Sprintf("gpu: trace wants %d CUs, GPU has %d", len(tr.CUs), len(g.cus)))
+	}
+	g.onComplete = onComplete
+	for ci := range tr.CUs {
+		c := g.cus[ci]
+		for _, ws := range tr.CUs[ci].Warps {
+			if len(ws) == 0 {
+				continue
+			}
+			w := &warp{g: g, cu: c, stream: ws}
+			c.warps = append(c.warps, w)
+			g.liveWarps++
+		}
+	}
+	if g.liveWarps == 0 {
+		g.eng.Schedule(0, g.complete)
+		return
+	}
+	for _, c := range g.cus {
+		for _, w := range c.warps {
+			w := w
+			g.eng.Schedule(0, w.step)
+		}
+	}
+}
+
+// LiveWarps returns the number of unfinished warps.
+func (g *GPU) LiveWarps() int { return g.liveWarps }
+
+func (g *GPU) complete() {
+	if g.onComplete != nil {
+		fn := g.onComplete
+		g.onComplete = nil
+		fn()
+	}
+}
+
+// step executes the warp's next instruction.
+func (w *warp) step() {
+	if w.pc >= len(w.stream) {
+		w.finish()
+		return
+	}
+	in := w.stream[w.pc]
+	g := w.g
+	g.st.Instructions++
+	switch in.Kind {
+	case trace.Compute:
+		g.st.ComputeCycles += in.Cycles
+		g.eng.Schedule(in.Cycles, w.next)
+	case trace.ScratchLoad, trace.ScratchStore:
+		g.st.ScratchOps++
+		lat := in.Cycles
+		if lat == 0 {
+			lat = g.cfg.ScratchLatency
+		}
+		g.eng.Schedule(lat, w.next)
+	case trace.Load, trace.Store:
+		w.issueMemory(in)
+	case trace.Barrier:
+		g.st.Barriers++
+		w.waiting = true
+		g.atBarrier++
+		g.checkBarrier()
+	default:
+		panic(fmt.Sprintf("gpu: unknown instruction kind %v", in.Kind))
+	}
+}
+
+func (w *warp) next() {
+	w.pc++
+	w.step()
+}
+
+func (w *warp) finish() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.g.liveWarps--
+	if w.g.liveWarps == 0 {
+		w.g.complete()
+		return
+	}
+	// A finishing warp may unblock a barrier the rest are waiting at.
+	w.g.checkBarrier()
+}
+
+// checkBarrier releases all waiting warps once every live warp waits.
+func (g *GPU) checkBarrier() {
+	if g.atBarrier == 0 || g.atBarrier < g.liveWarps {
+		return
+	}
+	g.atBarrier = 0
+	for _, c := range g.cus {
+		for _, w := range c.warps {
+			if w.waiting {
+				w.waiting = false
+				w := w
+				g.eng.Schedule(1, w.next)
+			}
+		}
+	}
+}
+
+func (w *warp) issueMemory(in trace.Inst) {
+	g := w.g
+	write := in.Kind == trace.Store
+	g.st.MemInsts++
+	g.st.LaneAccesses += uint64(len(in.Addrs))
+	lines := trace.CoalesceLines(in.Addrs)
+	g.st.CoalescedReqs += uint64(len(lines))
+	blocking := !write || g.cfg.BlockOnStore
+	if blocking {
+		w.pending = len(lines)
+	}
+	var lastSlot uint64
+	for _, line := range lines {
+		line := line
+		slot := w.cu.port.Admit()
+		if slot > lastSlot {
+			lastSlot = slot
+		}
+		g.eng.At(slot, func() {
+			g.path.Access(w.cu.id, line, write, func() {
+				if blocking {
+					w.pending--
+					if w.pending == 0 {
+						w.next()
+					}
+				}
+			})
+		})
+	}
+	if !blocking {
+		// Non-blocking store: the warp advances once the requests have
+		// been handed to the memory system.
+		g.eng.At(lastSlot+1, w.next)
+	}
+}

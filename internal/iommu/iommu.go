@@ -1,0 +1,241 @@
+// Package iommu models the I/O memory management unit that serves address
+// translation for every compute unit: a shared TLB behind a
+// bandwidth-limited lookup port (the serialization point the paper
+// identifies as the primary GPU translation bottleneck), a multi-threaded
+// page-table walker with a page-walk cache, and — in the proposal's
+// optimized configuration — the FBT consulted as a second-level TLB on
+// shared-TLB misses. An interval sampler records lookup arrivals in 1
+// microsecond (700-cycle) windows for the access-rate figures.
+package iommu
+
+import (
+	"fmt"
+
+	"vcache/internal/fbt"
+	"vcache/internal/memory"
+	"vcache/internal/ptw"
+	"vcache/internal/sim"
+	"vcache/internal/stats"
+	"vcache/internal/tlb"
+)
+
+// Config describes the IOMMU.
+type Config struct {
+	// TLB is the shared TLB configuration (512-entry baseline, 16K large).
+	TLB tlb.Config
+	// LookupsPerCycle bounds shared-TLB bandwidth (paper baseline: 1).
+	// 0 = unlimited (the paper's "ideal bandwidth" sensitivity runs).
+	LookupsPerCycle int
+	// Banks splits the shared TLB port into independently-admitting banks
+	// (the §3.2 multi-banked alternative). Each bank admits
+	// LookupsPerCycle lookups per cycle; requests map to banks by
+	// higher-order VPN bits, so page locality produces bank conflicts —
+	// the effect the paper argues limits banked designs.
+	Banks int
+	// LookupLatency is the shared TLB access time in cycles.
+	LookupLatency uint64
+	// FBTLatency is the extra cycles for an FBT lookup (paper: 5).
+	FBTLatency uint64
+	// SampleWindow is the sampler window in cycles (700 = 1us at 700MHz).
+	SampleWindow uint64
+	// Walker configures the page-table walker pool.
+	Walker ptw.Config
+}
+
+// DefaultConfig returns the paper's baseline IOMMU: 512-entry shared TLB,
+// one lookup per cycle, 16 walker threads, 8KB PWC.
+func DefaultConfig() Config {
+	return Config{
+		TLB:             tlb.Config{Entries: 512, Assoc: 8},
+		LookupsPerCycle: 1,
+		LookupLatency:   4,
+		FBTLatency:      5,
+		SampleWindow:    700,
+		Walker:          ptw.DefaultConfig(),
+	}
+}
+
+// Stats aggregates IOMMU activity.
+type Stats struct {
+	Requests    uint64
+	TLBHits     uint64
+	TLBMisses   uint64
+	FBTHits     uint64 // shared-TLB misses resolved by the FBT (VC With OPT)
+	Walks       uint64
+	MergedWalks uint64 // misses that joined an outstanding walk (MSHR)
+	Faults      uint64
+	QueueDelay  uint64 // serialization cycles at the lookup port
+	MaxDelay    uint64
+}
+
+// Result is a completed translation.
+type Result struct {
+	PTE   memory.PTE
+	Fault bool
+}
+
+// IOMMU is the shared translation unit.
+type IOMMU struct {
+	eng     *sim.Engine
+	cfg     Config
+	ports   []*sim.Server
+	tlb     *tlb.TLB
+	walker  *ptw.Walker
+	sampler *stats.IntervalSampler
+	delays  stats.CDF // per-request serialization delay at the port
+	st      Stats
+
+	// SecondLevel, when non-nil, is consulted on shared-TLB misses before
+	// walking (the FBT in the paper's VC-with-OPT design).
+	SecondLevel *fbt.FBT
+
+	// pending merges concurrent misses to the same page into one walk,
+	// like the walker's MSHRs: duplicates attach to the outstanding walk.
+	pending map[pendKey][]func(Result)
+}
+
+type pendKey struct {
+	asid memory.ASID
+	vpn  memory.VPN
+}
+
+// New builds an IOMMU. The walker must be constructed by the caller so it
+// can share the DRAM model with the rest of the system.
+func New(eng *sim.Engine, cfg Config, walker *ptw.Walker) *IOMMU {
+	if cfg.SampleWindow == 0 {
+		cfg.SampleWindow = 700
+	}
+	if cfg.Banks < 1 {
+		cfg.Banks = 1
+	}
+	io := &IOMMU{
+		eng:     eng,
+		cfg:     cfg,
+		tlb:     tlb.New(cfg.TLB),
+		walker:  walker,
+		sampler: stats.NewIntervalSampler(cfg.SampleWindow),
+		pending: make(map[pendKey][]func(Result)),
+	}
+	for i := 0; i < cfg.Banks; i++ {
+		io.ports = append(io.ports, sim.NewServer(eng, cfg.LookupsPerCycle))
+	}
+	io.tlb.Clock = eng.Now
+	return io
+}
+
+// TLB exposes the shared TLB (for shootdowns and tests).
+func (io *IOMMU) TLB() *tlb.TLB { return io.tlb }
+
+// Sampler exposes the per-window access-rate sampler.
+func (io *IOMMU) Sampler() *stats.IntervalSampler { return io.sampler }
+
+// DelayQuantile returns the q-th quantile of per-request serialization
+// delay at the lookup port (the distribution behind Figures 4/5).
+func (io *IOMMU) DelayQuantile(q float64) float64 { return io.delays.Quantile(q) }
+
+// Stats returns a copy of the counters, folding in port queueing.
+func (io *IOMMU) Stats() Stats {
+	s := io.st
+	for _, p := range io.ports {
+		s.QueueDelay += p.QueueDelay
+		if p.MaxDelay > s.MaxDelay {
+			s.MaxDelay = p.MaxDelay
+		}
+	}
+	return s
+}
+
+// bank maps a VPN to its port. Banked TLBs hash on higher-order address
+// bits (low bits select the set within a bank), which is exactly why
+// workloads with page-cluster locality conflict.
+func (io *IOMMU) bank(vpn memory.VPN) *sim.Server {
+	if len(io.ports) == 1 {
+		return io.ports[0]
+	}
+	return io.ports[(uint64(vpn)>>6)%uint64(len(io.ports))]
+}
+
+// Translate requests a translation of (asid, vpn); done fires with the
+// result after the request is serialized through the lookup port, the
+// shared TLB (and optionally the FBT) is consulted, and — on a miss — a
+// page-table walk completes.
+func (io *IOMMU) Translate(asid memory.ASID, vpn memory.VPN, done func(Result)) {
+	io.st.Requests++
+	io.sampler.Record(io.eng.Now())
+	slot := io.bank(vpn).Admit()
+	io.delays.Add(float64(slot - io.eng.Now()))
+	io.eng.At(slot+io.cfg.LookupLatency, func() {
+		if e, ok := io.tlb.Lookup(asid, vpn); ok {
+			io.st.TLBHits++
+			done(Result{PTE: memory.PTE{PPN: e.Frame(vpn), Perm: e.Perm, Valid: true, Large: e.Large}})
+			return
+		}
+		io.st.TLBMisses++
+		if io.SecondLevel != nil {
+			if ppn, perm, ok := io.SecondLevel.TranslateVPN(asid, vpn); ok {
+				io.st.FBTHits++
+				io.eng.Schedule(io.cfg.FBTLatency, func() {
+					io.tlb.Insert(asid, vpn, ppn, perm)
+					done(Result{PTE: memory.PTE{PPN: ppn, Perm: perm, Valid: true}})
+				})
+				return
+			}
+			// FBT miss costs its lookup latency before the walk begins.
+			io.eng.Schedule(io.cfg.FBTLatency, func() { io.walk(asid, vpn, done) })
+			return
+		}
+		io.walk(asid, vpn, done)
+	})
+}
+
+// insertTLB installs a walked translation, as a 2MB entry when the walk
+// resolved through a large page.
+func (io *IOMMU) insertTLB(asid memory.ASID, vpn memory.VPN, pte memory.PTE) {
+	if pte.Large {
+		bv, bp := memory.LargeBase(vpn, pte.PPN)
+		io.tlb.InsertLarge(asid, bv, bp, pte.Perm)
+		return
+	}
+	io.tlb.Insert(asid, vpn, pte.PPN, pte.Perm)
+}
+
+func (io *IOMMU) walk(asid memory.ASID, vpn memory.VPN, done func(Result)) {
+	k := pendKey{asid, vpn}
+	if list, outstanding := io.pending[k]; outstanding {
+		// A walk for this page is already in flight: attach to it.
+		io.st.MergedWalks++
+		io.pending[k] = append(list, done)
+		return
+	}
+	io.pending[k] = nil
+	io.st.Walks++
+	io.walker.Walk(vpn, func(r ptw.Result) {
+		var res Result
+		if r.Fault {
+			io.st.Faults++
+			res = Result{Fault: true}
+		} else {
+			io.insertTLB(asid, vpn, r.PTE)
+			res = Result{PTE: r.PTE}
+		}
+		waiters := io.pending[k]
+		delete(io.pending, k)
+		done(res)
+		for _, w := range waiters {
+			w(res)
+		}
+	})
+}
+
+// Shootdown invalidates (asid, vpn) in the shared TLB.
+func (io *IOMMU) Shootdown(asid memory.ASID, vpn memory.VPN) {
+	io.tlb.InvalidatePage(asid, vpn)
+}
+
+// ExtendSampling widens the sampler horizon to the current cycle so
+// trailing idle windows count toward rate statistics.
+func (io *IOMMU) ExtendSampling() { io.sampler.Extend(io.eng.Now()) }
+
+func (io *IOMMU) String() string {
+	return fmt.Sprintf("iommu{tlb: %v, bw: %d/cy, reqs: %d}", io.tlb, io.cfg.LookupsPerCycle, io.st.Requests)
+}

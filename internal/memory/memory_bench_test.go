@@ -1,0 +1,36 @@
+package memory
+
+import "testing"
+
+func BenchmarkPageTableWalk(b *testing.B) {
+	fa := NewFrameAlloc(1 << 20)
+	pt := NewPageTable(fa)
+	for i := 0; i < 4096; i++ {
+		pt.Map(VPN(i), PPN(i), PermRead)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Walk(VPN(i % 4096))
+	}
+}
+
+func BenchmarkPageTableLookup(b *testing.B) {
+	fa := NewFrameAlloc(1 << 20)
+	pt := NewPageTable(fa)
+	for i := 0; i < 4096; i++ {
+		pt.Map(VPN(i), PPN(i), PermRead)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(VPN(i % 4096))
+	}
+}
+
+func BenchmarkEnsureMapped(b *testing.B) {
+	fa := NewFrameAlloc(1 << 20)
+	as := NewAddressSpace(1, fa)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.EnsureMapped(VAddr(i) << PageShift)
+	}
+}

@@ -1,0 +1,141 @@
+package memory
+
+import "fmt"
+
+// AddressSpace is a demand-mapped virtual address space: the first touch of
+// a page allocates a physical frame and installs the translation, the way
+// an OS would service a minor fault. It also supports synonym mappings
+// (two virtual pages sharing one physical page) and permission changes,
+// which upstream components turn into TLB shootdowns.
+type AddressSpace struct {
+	ID    ASID
+	Table *PageTable
+	alloc *FrameAlloc
+
+	// reverse maps PPN -> all VPNs mapped to it, for synonym bookkeeping.
+	reverse map[PPN][]VPN
+
+	defaultPerm Perm
+}
+
+// NewAddressSpace creates an empty space with the given ASID. Pages mapped
+// on demand receive read+write permission unless overridden with
+// SetDefaultPerm.
+func NewAddressSpace(id ASID, alloc *FrameAlloc) *AddressSpace {
+	return &AddressSpace{
+		ID:          id,
+		Table:       NewPageTable(alloc),
+		alloc:       alloc,
+		reverse:     make(map[PPN][]VPN),
+		defaultPerm: PermRead | PermWrite,
+	}
+}
+
+// SetDefaultPerm sets the permission used for demand-mapped pages.
+func (as *AddressSpace) SetDefaultPerm(p Perm) { as.defaultPerm = p }
+
+// EnsureMapped guarantees va's page is mapped, allocating a frame on first
+// touch, and returns its PTE.
+func (as *AddressSpace) EnsureMapped(va VAddr) PTE {
+	vpn := va.Page()
+	if pte, ok := as.Table.Lookup(vpn); ok {
+		return pte
+	}
+	ppn := as.alloc.Alloc()
+	as.Table.Map(vpn, ppn, as.defaultPerm)
+	as.reverse[ppn] = append(as.reverse[ppn], vpn)
+	return PTE{PPN: ppn, Perm: as.defaultPerm, Valid: true}
+}
+
+// EnsureMappedLarge guarantees va's 2MB region is mapped with a single
+// large page, allocating 512 contiguous frames on first touch. It panics
+// if 4KB mappings already cover part of the region (a real OS would
+// either reject or promote; the simulator keeps the invariant strict).
+func (as *AddressSpace) EnsureMappedLarge(va VAddr) PTE {
+	vpn := va.Page()
+	if pte, ok := as.Table.Lookup(vpn); ok {
+		return pte
+	}
+	base, _ := LargeBase(vpn, 0)
+	ppn := as.alloc.AllocContig(PagesPerLarge)
+	as.Table.MapLarge(base, ppn, as.defaultPerm)
+	as.reverse[ppn] = append(as.reverse[ppn], base)
+	pte, _ := as.Table.Lookup(vpn)
+	return pte
+}
+
+// Translate returns the physical address for va if mapped.
+func (as *AddressSpace) Translate(va VAddr) (PAddr, Perm, bool) {
+	pte, ok := as.Table.Lookup(va.Page())
+	if !ok {
+		return 0, 0, false
+	}
+	return pte.PPN.Base() + PAddr(va.Offset()), pte.Perm, true
+}
+
+// MapSynonym maps the page containing alias to the same physical frame as
+// the page containing target (demand-mapping target first if needed), with
+// permission perm. This creates a virtual-address synonym: two VPNs naming
+// one PPN.
+func (as *AddressSpace) MapSynonym(alias, target VAddr, perm Perm) PTE {
+	tgt := as.EnsureMapped(target)
+	vpn := alias.Page()
+	if old, ok := as.Table.Lookup(vpn); ok && old.PPN == tgt.PPN {
+		return old
+	}
+	as.Table.Map(vpn, tgt.PPN, perm)
+	as.reverse[tgt.PPN] = append(as.reverse[tgt.PPN], vpn)
+	return PTE{PPN: tgt.PPN, Perm: perm, Valid: true}
+}
+
+// Synonyms returns all VPNs currently mapped to ppn.
+func (as *AddressSpace) Synonyms(ppn PPN) []VPN {
+	return as.reverse[ppn]
+}
+
+// AllMappings returns the live reverse map (PPN -> VPNs). The slices are
+// shared with the address space: callers must treat them as read-only.
+func (as *AddressSpace) AllMappings() map[PPN][]VPN {
+	return as.reverse
+}
+
+// Protect changes the permission of va's page. It reports whether the page
+// was mapped. Callers are responsible for the ensuing TLB shootdown.
+func (as *AddressSpace) Protect(va VAddr, perm Perm) bool {
+	vpn := va.Page()
+	pte, ok := as.Table.Lookup(vpn)
+	if !ok {
+		return false
+	}
+	as.Table.Map(vpn, pte.PPN, perm)
+	return true
+}
+
+// Unmap removes the mapping for va's page, freeing the frame when the last
+// synonym for it goes away. It reports whether the page was mapped.
+func (as *AddressSpace) Unmap(va VAddr) bool {
+	vpn := va.Page()
+	pte, ok := as.Table.Lookup(vpn)
+	if !ok {
+		return false
+	}
+	as.Table.Unmap(vpn)
+	vs := as.reverse[pte.PPN]
+	for i, v := range vs {
+		if v == vpn {
+			vs = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+	if len(vs) == 0 {
+		delete(as.reverse, pte.PPN)
+		as.alloc.Free(pte.PPN)
+	} else {
+		as.reverse[pte.PPN] = vs
+	}
+	return true
+}
+
+func (as *AddressSpace) String() string {
+	return fmt.Sprintf("as{asid: %d, pages: %d}", as.ID, as.Table.Pages())
+}

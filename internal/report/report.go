@@ -1,0 +1,165 @@
+// Package report renders the evaluation's tables and figures as text:
+// aligned tables for configuration listings and horizontal ASCII bar
+// charts for the per-workload figures, so `cmd/experiments` output reads
+// like the paper's plots.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of the given fractional value against max,
+// width characters wide.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders segments (which must each be >= 0) scaled so that
+// max fills width, using one rune per segment class.
+func StackedBar(segments []float64, runes []rune, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for i, s := range segments {
+		n := int(s / max * float64(width))
+		if used+n > width {
+			n = width - used
+		}
+		r := '#'
+		if i < len(runes) {
+			r = runes[i]
+		}
+		b.WriteString(strings.Repeat(string(r), n))
+		used += n
+	}
+	return b.String()
+}
+
+// sparkRunes are eight fill levels for compact time-series rendering.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a unicode sparkline scaled to the series max.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	var max float64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := int(x / max * float64(len(sparkRunes)))
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// Downsample reduces xs to at most width points by averaging buckets.
+func Downsample(xs []float64, width int) []float64 {
+	if width <= 0 || len(xs) <= width {
+		return xs
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(xs) / width
+		hi := (i + 1) * len(xs) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, x := range xs[lo:hi] {
+			sum += x
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F formats a float compactly.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// I formats an integer-valued count.
+func I(x uint64) string { return fmt.Sprintf("%d", x) }

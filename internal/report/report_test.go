@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("xxxxx", "y")
+	tb.AddRow("z") // short row: padded
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title = %q", lines[0])
+	}
+	// All non-title lines align to the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("row overflows header width: %q", l)
+		}
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatal("missing rule")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != strings.Repeat("#", 10) {
+		t.Fatal("Bar not clamped")
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Fatal("degenerate bars not empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar([]float64{0.5, 0.25}, []rune{'#', '+'}, 1.0, 8)
+	if out != "####++" {
+		t.Fatalf("StackedBar = %q", out)
+	}
+	// Overflow clamps to width.
+	out = StackedBar([]float64{2, 2}, []rune{'#', '+'}, 1.0, 4)
+	if len(out) != 4 {
+		t.Fatalf("StackedBar overflow = %q", out)
+	}
+	if StackedBar([]float64{1}, nil, 0, 4) != "" {
+		t.Fatal("zero max not empty")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(out)) != 4 {
+		t.Fatalf("sparkline runes = %q", out)
+	}
+	runes := []rune(out)
+	if runes[0] >= runes[1] || runes[1] >= runes[3] {
+		t.Fatalf("sparkline not increasing: %q", out)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input not empty")
+	}
+	if len([]rune(Sparkline([]float64{0, 0}))) != 2 {
+		t.Fatal("all-zero series mishandled")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	out := Downsample(xs, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Bucket means preserve ordering.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("downsample not monotone: %v", out)
+		}
+	}
+	// Mean is preserved (uniform buckets).
+	var a, b float64
+	for _, x := range xs {
+		a += x
+	}
+	for _, x := range out {
+		b += x * 10
+	}
+	if a != b {
+		t.Fatalf("mass not conserved: %v vs %v", a, b)
+	}
+	if got := Downsample(xs, 200); len(got) != 100 {
+		t.Fatal("upsample should be identity")
+	}
+	if got := Downsample(xs, 0); len(got) != 100 {
+		t.Fatal("width 0 should be identity")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.5) != "50.0%" || F(1.0/3) != "0.333" || F2(1.0/3) != "0.33" || I(7) != "7" {
+		t.Fatal("formatter output changed")
+	}
+}

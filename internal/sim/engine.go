@@ -1,0 +1,107 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of events ordered by (cycle,
+// sequence). Components schedule callbacks at absolute or relative cycles;
+// the engine runs them in order, advancing a global clock. Determinism is
+// guaranteed: events scheduled for the same cycle fire in the order they
+// were scheduled.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	when uint64 // cycle at which the event fires
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator clocked in cycles.
+// The zero value is ready to use.
+type Engine struct {
+	pq    eventHeap
+	now   uint64
+	seq   uint64
+	fired uint64
+}
+
+// New returns a fresh engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule enqueues fn to run delay cycles from now. A delay of zero runs
+// fn later in the current cycle (after all previously scheduled events for
+// this cycle).
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At enqueues fn to run at the absolute cycle when. Scheduling in the past
+// is clamped to the current cycle.
+func (e *Engine) At(when uint64, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Step runs the single next event, advancing the clock to its cycle.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final cycle.
+func (e *Engine) Run() uint64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with when <= limit. Events beyond the limit stay
+// queued. It returns the engine's clock, which is advanced to limit if the
+// queue drained or the next event is past the limit.
+func (e *Engine) RunUntil(limit uint64) uint64 {
+	for len(e.pq) > 0 && e.pq[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}

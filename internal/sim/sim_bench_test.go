@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(uint64(i%64), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkEventChain(b *testing.B) {
+	// Sequential dependent events: the dominant pattern in request flows.
+	e := New()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, step)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(1, step)
+	e.Run()
+}
+
+func BenchmarkServerAdmit(b *testing.B) {
+	e := New()
+	s := NewServer(e, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Admit()
+	}
+}

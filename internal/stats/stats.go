@@ -1,0 +1,214 @@
+// Package stats provides the measurement machinery the evaluation needs:
+// scalar counters, windowed interval samplers (the paper samples IOMMU TLB
+// accesses in 1 microsecond windows), summary statistics, histograms, and
+// CDFs (for the page-lifetime appendix figure).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds mean / standard deviation / min / max of a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics over xs. An empty slice yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.N, s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// IntervalSampler counts events in fixed-width cycle windows. Feed it event
+// cycles in any order; Samples() returns events-per-cycle for every window
+// from cycle 0 through the last window that saw an event (or through an
+// explicit Extend horizon), including empty windows, matching how the paper
+// reports per-microsecond access rates.
+type IntervalSampler struct {
+	window  uint64
+	counts  map[uint64]uint64
+	horizon uint64 // max cycle observed
+}
+
+// NewIntervalSampler creates a sampler with the given window width in
+// cycles. Width must be > 0.
+func NewIntervalSampler(window uint64) *IntervalSampler {
+	if window == 0 {
+		panic("stats: zero sampler window")
+	}
+	return &IntervalSampler{window: window, counts: make(map[uint64]uint64)}
+}
+
+// Record counts one event at the given cycle.
+func (s *IntervalSampler) Record(cycle uint64) {
+	s.counts[cycle/s.window]++
+	if cycle > s.horizon {
+		s.horizon = cycle
+	}
+}
+
+// Extend widens the observation horizon to cover cycle (so trailing empty
+// windows are included in Samples).
+func (s *IntervalSampler) Extend(cycle uint64) {
+	if cycle > s.horizon {
+		s.horizon = cycle
+	}
+}
+
+// Total returns the total number of recorded events.
+func (s *IntervalSampler) Total() uint64 {
+	var t uint64
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// Samples returns the per-window event rate (events per cycle) for every
+// window in [0, horizon].
+func (s *IntervalSampler) Samples() []float64 {
+	if s.horizon == 0 && len(s.counts) == 0 {
+		return nil
+	}
+	n := s.horizon/s.window + 1
+	out := make([]float64, n)
+	for w, c := range s.counts {
+		if w < n {
+			out[w] = float64(c) / float64(s.window)
+		}
+	}
+	return out
+}
+
+// Summary summarizes the per-window rates.
+func (s *IntervalSampler) Summary() Summary { return Summarize(s.Samples()) }
+
+// FractionAbove returns the fraction of windows whose rate exceeds limit.
+func (s *IntervalSampler) FractionAbove(limit float64) float64 {
+	xs := s.Samples()
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution over recorded values.
+type CDF struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (c *CDF) Add(x float64) {
+	c.xs = append(c.xs, x)
+	c.sorted = false
+}
+
+// N returns the number of observations.
+func (c *CDF) N() int { return len(c.xs) }
+
+func (c *CDF) sortIfNeeded() {
+	if !c.sorted {
+		sort.Float64s(c.xs)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.sortIfNeeded()
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.sortIfNeeded()
+	if q <= 0 {
+		return c.xs[0]
+	}
+	if q >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	i := int(q * float64(len(c.xs)-1))
+	return c.xs[i]
+}
+
+// Histogram counts values in fixed-width buckets starting at 0.
+type Histogram struct {
+	Width   float64
+	Buckets []uint64
+	Count   uint64
+}
+
+// NewHistogram creates a histogram with bucket width w (> 0).
+func NewHistogram(w float64) *Histogram {
+	if w <= 0 {
+		panic("stats: non-positive histogram width")
+	}
+	return &Histogram{Width: w}
+}
+
+// Add records one observation (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	b := 0
+	if x > 0 {
+		b = int(x / h.Width)
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+	h.Count++
+}
+
+// Ratio returns a/b, or 0 when b is zero. Handy for miss ratios.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almostEqual(s.Mean, 2.5) || !almostEqual(s.Min, 1) || !almostEqual(s.Max, 4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Population stddev of {1,2,3,4} = sqrt(1.25).
+	if !almostEqual(s.StdDev, math.Sqrt(1.25)) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestIntervalSampler(t *testing.T) {
+	s := NewIntervalSampler(100)
+	for i := 0; i < 50; i++ {
+		s.Record(uint64(i)) // 50 events in window 0
+	}
+	s.Record(250) // 1 event in window 2
+	xs := s.Samples()
+	if len(xs) != 3 {
+		t.Fatalf("windows = %d, want 3", len(xs))
+	}
+	if !almostEqual(xs[0], 0.5) || !almostEqual(xs[1], 0) || !almostEqual(xs[2], 0.01) {
+		t.Fatalf("samples = %v", xs)
+	}
+	if s.Total() != 51 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	s.Extend(999)
+	if len(s.Samples()) != 10 {
+		t.Fatalf("windows after extend = %d, want 10", len(s.Samples()))
+	}
+	if got := s.FractionAbove(0.2); !almostEqual(got, 0.1) {
+		t.Fatalf("FractionAbove = %v, want 0.1", got)
+	}
+}
+
+func TestIntervalSamplerEmpty(t *testing.T) {
+	s := NewIntervalSampler(700)
+	if s.Samples() != nil {
+		t.Fatal("empty sampler returned windows")
+	}
+	if s.Summary().N != 0 {
+		t.Fatal("empty sampler summary non-empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{10, 20, 30, 40, 50} {
+		c.Add(x)
+	}
+	if !almostEqual(c.At(30), 0.6) {
+		t.Fatalf("At(30) = %v, want 0.6", c.At(30))
+	}
+	if !almostEqual(c.At(5), 0) || !almostEqual(c.At(50), 1) {
+		t.Fatalf("tail values wrong: %v %v", c.At(5), c.At(50))
+	}
+	if q := c.Quantile(0.5); q != 30 {
+		t.Fatalf("median = %v, want 30", q)
+	}
+	if c.Quantile(0) != 10 || c.Quantile(1) != 50 {
+		t.Fatal("extreme quantiles wrong")
+	}
+}
+
+func TestCDFInterleavedAddQuery(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	_ = c.At(5)
+	c.Add(1) // must re-sort
+	if !almostEqual(c.At(1), 0.5) {
+		t.Fatalf("At(1) = %v after interleaved add", c.At(1))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(5)
+	h.Add(15)
+	h.Add(15)
+	h.Add(-3) // clamps to bucket 0
+	if h.Count != 4 || h.Buckets[0] != 2 || h.Buckets[1] != 2 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+	if !almostEqual(Ratio(1, 4), 0.25) {
+		t.Fatal("Ratio(1,4) wrong")
+	}
+}
+
+// Property: CDF.At is monotonic nondecreasing and bounded in [0,1].
+func TestCDFMonotonicProperty(t *testing.T) {
+	f := func(xs []float64, probes []float64) bool {
+		var c CDF
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			c.Add(x)
+		}
+		prevX, prevP := math.Inf(-1), 0.0
+		for _, p := range probes {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				continue
+			}
+			if p < prevX {
+				continue
+			}
+			v := c.At(p)
+			if v < 0 || v > 1 {
+				return false
+			}
+			if v < prevP {
+				return false
+			}
+			prevX, prevP = p, v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampler total equals number of recorded events and window rates
+// sum to total/window.
+func TestSamplerConservationProperty(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		s := NewIntervalSampler(64)
+		for _, c := range cycles {
+			s.Record(uint64(c))
+		}
+		if s.Total() != uint64(len(cycles)) {
+			return false
+		}
+		var sum float64
+		for _, x := range s.Samples() {
+			sum += x * 64
+		}
+		return math.Abs(sum-float64(len(cycles))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

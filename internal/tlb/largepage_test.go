@@ -1,0 +1,94 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+func TestLargeEntryCoversRegion(t *testing.T) {
+	for _, entries := range []int{0, 16} {
+		tb := New(Config{Entries: entries, Assoc: 4})
+		base := memory.VPN(2 * memory.PagesPerLarge)
+		tb.InsertLarge(1, base, 0x8000, memory.PermRead)
+		// Any page in the 2MB region hits and resolves its own frame.
+		for _, off := range []memory.VPN{0, 7, memory.PagesPerLarge - 1} {
+			e, ok := tb.Lookup(1, base+off)
+			if !ok {
+				t.Fatalf("entries=%d off=%d: large entry missed", entries, off)
+			}
+			if got := e.Frame(base + off); got != 0x8000+memory.PPN(off) {
+				t.Fatalf("Frame = %#x, want %#x", uint64(got), 0x8000+uint64(off))
+			}
+		}
+		// Outside the region: miss.
+		if _, ok := tb.Lookup(1, base+memory.PagesPerLarge); ok {
+			t.Fatal("large entry leaked past its region")
+		}
+		// One entry total: that's the reach benefit.
+		if tb.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", tb.Len())
+		}
+	}
+}
+
+func TestLargeAndSmallCoexist(t *testing.T) {
+	tb := New(Config{Entries: 16, Assoc: 4})
+	base := memory.VPN(4 * memory.PagesPerLarge)
+	tb.InsertLarge(1, base, 0x1000, memory.PermRead)
+	// A 4KB entry for a page inside the region shadows nothing — both can
+	// live; the 4KB entry wins the first probe.
+	tb.Insert(1, base+3, 0x9999, memory.PermRead|memory.PermWrite)
+	e, ok := tb.Lookup(1, base+3)
+	if !ok || e.Large || e.PPN != 0x9999 {
+		t.Fatalf("4KB entry did not take precedence: %+v", e)
+	}
+	e, ok = tb.Lookup(1, base+4)
+	if !ok || !e.Large {
+		t.Fatalf("large entry lost: %+v ok=%v", e, ok)
+	}
+}
+
+func TestLargeShootdown(t *testing.T) {
+	for _, entries := range []int{0, 16} {
+		tb := New(Config{Entries: entries, Assoc: 4})
+		base := memory.VPN(6 * memory.PagesPerLarge)
+		tb.InsertLarge(1, base, 0x1000, memory.PermRead)
+		// Shooting down any covered page removes the large entry.
+		if !tb.InvalidatePage(1, base+100) {
+			t.Fatalf("entries=%d: shootdown missed large entry", entries)
+		}
+		if _, ok := tb.Lookup(1, base); ok {
+			t.Fatal("large entry survived shootdown")
+		}
+	}
+}
+
+func TestLargeProbe(t *testing.T) {
+	tb := New(Config{Entries: 8})
+	base := memory.VPN(memory.PagesPerLarge)
+	tb.InsertLarge(1, base, 0x1000, memory.PermRead)
+	if !tb.Probe(1, base+9) {
+		t.Fatal("probe missed large entry")
+	}
+	if tb.Probe(2, base+9) {
+		t.Fatal("probe crossed ASIDs")
+	}
+}
+
+func TestLargeInvalidateAll(t *testing.T) {
+	tb := New(Config{})
+	tb.InsertLarge(1, 0, 0x1000, memory.PermRead)
+	tb.Insert(1, memory.VPN(memory.PagesPerLarge), 5, memory.PermRead)
+	tb.InvalidateAll()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after flush = %d", tb.Len())
+	}
+}
+
+func TestFrameOn4KBEntry(t *testing.T) {
+	e := Entry{VPN: 10, PPN: 42}
+	if e.Frame(10) != 42 {
+		t.Fatal("4KB Frame wrong")
+	}
+}

@@ -1,0 +1,370 @@
+// Package tlb models translation lookaside buffers: set-associative or
+// fully-associative with LRU replacement, ASID-tagged entries, page and
+// address-space invalidation, and an infinite mode used for the paper's
+// "demand miss" and IDEAL MMU configurations. Optional lifetime hooks feed
+// the appendix figure comparing TLB-entry residence against cache-line
+// residence.
+package tlb
+
+import (
+	"fmt"
+
+	"vcache/internal/memory"
+)
+
+// Entry is a cached translation. Large entries cover a 2MB region: VPN and
+// PPN hold the region base and Frame resolves individual 4KB pages.
+type Entry struct {
+	ASID  memory.ASID
+	VPN   memory.VPN
+	PPN   memory.PPN
+	Perm  memory.Perm
+	Large bool
+
+	valid      bool
+	lru        uint64
+	insertedAt uint64
+}
+
+// Frame returns the physical frame for vpn, which must lie in the entry's
+// reach (always true for the VPN a Lookup hit returned it for).
+func (e Entry) Frame(vpn memory.VPN) memory.PPN {
+	if !e.Large {
+		return e.PPN
+	}
+	return e.PPN + memory.PPN(vpn-e.VPN)
+}
+
+// Config describes a TLB.
+type Config struct {
+	// Entries is the total entry count. Zero or negative means infinite.
+	Entries int
+	// Assoc is the set associativity. Zero means fully associative.
+	Assoc int
+}
+
+// Infinite reports whether the configuration models an unbounded TLB.
+func (c Config) Infinite() bool { return c.Entries <= 0 }
+
+// Stats are the TLB's event counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Inserts    uint64
+	Evictions  uint64
+	Shootdowns uint64
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRatio returns misses / accesses.
+func (s Stats) MissRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// TLB is a translation lookaside buffer.
+type TLB struct {
+	cfg      Config
+	sets     [][]Entry
+	inf      map[key]*Entry
+	infLarge map[key]*Entry // infinite mode: 2MB entries, keyed by base
+	tick     uint64
+	stats    Stats
+
+	// Clock, if set, supplies the current cycle for lifetime tracking.
+	Clock func() uint64
+	// OnEvict, if set, is called when a valid entry leaves the TLB
+	// (replacement or invalidation) with the entry and its residence time
+	// in cycles.
+	OnEvict func(e Entry, lifetime uint64)
+}
+
+type key struct {
+	asid memory.ASID
+	vpn  memory.VPN
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) *TLB {
+	t := &TLB{cfg: cfg}
+	if cfg.Infinite() {
+		t.inf = make(map[key]*Entry)
+		t.infLarge = make(map[key]*Entry)
+		return t
+	}
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > cfg.Entries {
+		assoc = cfg.Entries // fully associative
+	}
+	numSets := cfg.Entries / assoc
+	if numSets < 1 {
+		numSets = 1
+	}
+	t.sets = make([][]Entry, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]Entry, assoc)
+	}
+	return t
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+func (t *TLB) now() uint64 {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return t.tick
+}
+
+func (t *TLB) setIndex(asid memory.ASID, vpn memory.VPN) int {
+	h := uint64(vpn) ^ (uint64(asid) << 13)
+	return int(h % uint64(len(t.sets)))
+}
+
+// largeBase returns the 2MB-region base of vpn.
+func largeBase(vpn memory.VPN) memory.VPN {
+	return vpn &^ memory.VPN(memory.PagesPerLarge-1)
+}
+
+// Lookup searches for (asid, vpn), updating LRU state and hit/miss
+// counters. Both 4KB entries and covering 2MB entries hit.
+func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
+	t.tick++
+	if t.inf != nil {
+		if e, ok := t.inf[key{asid, vpn}]; ok {
+			e.lru = t.tick
+			t.stats.Hits++
+			return *e, true
+		}
+		if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
+			e.lru = t.tick
+			t.stats.Hits++
+			return *e, true
+		}
+		t.stats.Misses++
+		return Entry{}, false
+	}
+	set := t.sets[t.setIndex(asid, vpn)]
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
+			set[i].lru = t.tick
+			t.stats.Hits++
+			return set[i], true
+		}
+	}
+	base := largeBase(vpn)
+	set = t.sets[t.setIndex(asid, base)]
+	for i := range set {
+		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+			set[i].lru = t.tick
+			t.stats.Hits++
+			return set[i], true
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe reports whether a translation for (asid, vpn) is resident (4KB or
+// covering 2MB entry) without disturbing LRU or counters.
+func (t *TLB) Probe(asid memory.ASID, vpn memory.VPN) bool {
+	if t.inf != nil {
+		if _, ok := t.inf[key{asid, vpn}]; ok {
+			return true
+		}
+		_, ok := t.infLarge[key{asid, largeBase(vpn)}]
+		return ok
+	}
+	set := t.sets[t.setIndex(asid, vpn)]
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
+			return true
+		}
+	}
+	base := largeBase(vpn)
+	set = t.sets[t.setIndex(asid, base)]
+	for i := range set {
+		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs a 4KB translation, evicting the LRU entry of the set if
+// needed. Re-inserting an existing (asid, vpn) refreshes it in place.
+func (t *TLB) Insert(asid memory.ASID, vpn memory.VPN, ppn memory.PPN, perm memory.Perm) {
+	t.insert(Entry{ASID: asid, VPN: vpn, PPN: ppn, Perm: perm})
+}
+
+// InsertLarge installs a 2MB translation for the region with the given
+// base VPN/PPN. A single entry then covers 512 pages (the TLB-reach
+// benefit of large pages).
+func (t *TLB) InsertLarge(asid memory.ASID, baseVPN memory.VPN, basePPN memory.PPN, perm memory.Perm) {
+	t.insert(Entry{ASID: asid, VPN: largeBase(baseVPN), PPN: basePPN, Perm: perm, Large: true})
+}
+
+func (t *TLB) insert(e Entry) {
+	t.tick++
+	t.stats.Inserts++
+	e.valid = true
+	e.lru = t.tick
+	e.insertedAt = t.now()
+	asid, vpn := e.ASID, e.VPN
+	if t.inf != nil {
+		if e.Large {
+			t.infLarge[key{asid, vpn}] = &e
+		} else {
+			t.inf[key{asid, vpn}] = &e
+		}
+		return
+	}
+	set := t.sets[t.setIndex(asid, vpn)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && set[i].Large == e.Large {
+			keep := set[i].insertedAt
+			set[i] = e
+			set[i].insertedAt = keep
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		t.evict(&set[victim])
+	}
+	set[victim] = e
+}
+
+func (t *TLB) evict(e *Entry) {
+	t.stats.Evictions++
+	if t.OnEvict != nil {
+		t.OnEvict(*e, t.now()-e.insertedAt)
+	}
+	e.valid = false
+}
+
+// InvalidatePage drops the entry translating (asid, vpn) if present —
+// including a covering 2MB entry — returning whether one was dropped.
+// Used for single-entry TLB shootdowns.
+func (t *TLB) InvalidatePage(asid memory.ASID, vpn memory.VPN) bool {
+	t.stats.Shootdowns++
+	hit := false
+	if t.inf != nil {
+		k := key{asid, vpn}
+		if e, ok := t.inf[k]; ok {
+			t.evict(e)
+			delete(t.inf, k)
+			hit = true
+		}
+		lk := key{asid, largeBase(vpn)}
+		if e, ok := t.infLarge[lk]; ok {
+			t.evict(e)
+			delete(t.infLarge, lk)
+			hit = true
+		}
+		return hit
+	}
+	set := t.sets[t.setIndex(asid, vpn)]
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
+			t.evict(&set[i])
+			hit = true
+		}
+	}
+	base := largeBase(vpn)
+	set = t.sets[t.setIndex(asid, base)]
+	for i := range set {
+		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+			t.evict(&set[i])
+			hit = true
+		}
+	}
+	return hit
+}
+
+// InvalidateAll flushes every entry (all-entry shootdown).
+func (t *TLB) InvalidateAll() {
+	t.stats.Shootdowns++
+	if t.inf != nil {
+		for k, e := range t.inf {
+			t.evict(e)
+			delete(t.inf, k)
+		}
+		for k, e := range t.infLarge {
+			t.evict(e)
+			delete(t.infLarge, k)
+		}
+		return
+	}
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				t.evict(&set[i])
+			}
+		}
+	}
+}
+
+// InvalidateASID flushes all entries belonging to one address space.
+func (t *TLB) InvalidateASID(asid memory.ASID) {
+	t.stats.Shootdowns++
+	if t.inf != nil {
+		for k, e := range t.inf {
+			if k.asid == asid {
+				t.evict(e)
+				delete(t.inf, k)
+			}
+		}
+		for k, e := range t.infLarge {
+			if k.asid == asid {
+				t.evict(e)
+				delete(t.infLarge, k)
+			}
+		}
+		return
+	}
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && set[i].ASID == asid {
+				t.evict(&set[i])
+			}
+		}
+	}
+}
+
+// Len returns the number of valid entries currently resident.
+func (t *TLB) Len() int {
+	if t.inf != nil {
+		return len(t.inf) + len(t.infLarge)
+	}
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (t *TLB) String() string {
+	if t.cfg.Infinite() {
+		return fmt.Sprintf("tlb{infinite, resident: %d}", t.Len())
+	}
+	return fmt.Sprintf("tlb{entries: %d, assoc: %d, resident: %d}", t.cfg.Entries, t.cfg.Assoc, t.Len())
+}

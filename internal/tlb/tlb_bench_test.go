@@ -1,0 +1,45 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	t := New(Config{Entries: 32})
+	for i := 0; i < 32; i++ {
+		t.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(1, memory.VPN(i%32))
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	t := New(Config{Entries: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(1, memory.VPN(i+1000))
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	t := New(Config{Entries: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+}
+
+func BenchmarkInfiniteLookup(b *testing.B) {
+	t := New(Config{})
+	for i := 0; i < 10000; i++ {
+		t.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(1, memory.VPN(i%10000))
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File format: a small header (magic + version) followed by the
+// gob-encoded Trace. Traces regenerate in milliseconds, but saving them
+// lets heavy sweeps skip regeneration and lets external tools produce
+// traces for this simulator.
+
+const (
+	traceMagic   = "vcachetrace"
+	traceVersion = 1
+)
+
+type traceHeader struct {
+	Magic   string
+	Version int
+}
+
+// Write serializes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Magic: traceMagic, Version: traceVersion}); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encoding body: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r, validating the header.
+func Read(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if h.Magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", h.Magic)
+	}
+	if h.Version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", h.Version, traceVersion)
+	}
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding body: %w", err)
+	}
+	return &t, nil
+}
+
+// Save writes the trace to path.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

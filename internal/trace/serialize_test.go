@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	b := NewBuilder("sample", 3, 2, 2)
+	b.Warp().Load(0x1000, 0x2000).Compute(5)
+	b.Warp().Store(0x3000).ScratchLoad(2)
+	b.Barrier()
+	b.Warp().Load(0x4000)
+	return b.Build()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("round trip changed the trace")
+	}
+	if got.Summarize() != tr.Summarize() {
+		t.Fatal("summaries differ")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("save/load changed the trace")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid gob stream, wrong magic.
+	var buf bytes.Buffer
+	bad := &Trace{Name: "x"}
+	// Hand-encode a header with wrong magic by writing a trace then
+	// corrupting: simpler — encode with the real writer and flip a byte
+	// inside the magic string.
+	if err := bad.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	idx := bytes.Index(data, []byte("vcachetrace"))
+	if idx < 0 {
+		t.Fatal("magic not found in stream")
+	}
+	data[idx] = 'X'
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package trace defines the memory-trace representation replayed by the
+// GPU model. Workload generators run their algorithm on the host and emit,
+// per compute unit, a set of warp instruction streams: SIMT global loads
+// and stores carrying up to 32 per-lane virtual addresses, scratchpad
+// operations (which bypass the TLB and caches, as in the paper's baseline),
+// compute delays, and device-wide barriers separating kernel phases.
+package trace
+
+import (
+	"fmt"
+
+	"vcache/internal/memory"
+)
+
+// Kind discriminates trace instructions.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	Compute      Kind = iota // busy the warp for Cycles
+	Load                     // global load: per-lane virtual addresses
+	Store                    // global store: per-lane virtual addresses
+	ScratchLoad              // scratchpad read: no TLB or cache involvement
+	ScratchStore             // scratchpad write
+	Barrier                  // device-wide barrier (kernel boundary)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case ScratchLoad:
+		return "scratch-load"
+	case ScratchStore:
+		return "scratch-store"
+	case Barrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Inst is one SIMT instruction executed by a warp.
+type Inst struct {
+	Kind   Kind
+	Addrs  []memory.VAddr // per-lane addresses for Load/Store
+	Cycles uint64         // duration for Compute / scratch ops
+}
+
+// WarpTrace is a warp's instruction stream.
+type WarpTrace []Inst
+
+// CUTrace holds the warp streams assigned to one compute unit.
+type CUTrace struct {
+	Warps []WarpTrace
+}
+
+// Trace is a complete workload trace.
+type Trace struct {
+	Name string
+	ASID memory.ASID
+	CUs  []CUTrace
+}
+
+// Summary describes a trace's memory behaviour.
+type Summary struct {
+	Name           string
+	MemInsts       uint64 // global loads+stores
+	LaneAccesses   uint64 // total per-lane addresses
+	CoalescedLines uint64 // unique 128B lines summed over instructions
+	ScratchOps     uint64
+	ComputeInsts   uint64
+	Barriers       uint64
+	DistinctPages  int     // 4KB footprint
+	Divergence     float64 // mean unique lines per memory instruction
+	PagesPerInst   float64 // mean unique pages per memory instruction
+}
+
+// Summarize computes a Summary for the trace.
+func (t *Trace) Summarize() Summary {
+	s := Summary{Name: t.Name}
+	pages := make(map[memory.VPN]struct{})
+	var pageTouches uint64
+	for _, cu := range t.CUs {
+		for _, w := range cu.Warps {
+			for _, in := range w {
+				switch in.Kind {
+				case Load, Store:
+					s.MemInsts++
+					s.LaneAccesses += uint64(len(in.Addrs))
+					s.CoalescedLines += uint64(len(CoalesceLines(in.Addrs)))
+					seenP := make(map[memory.VPN]struct{}, 4)
+					for _, a := range in.Addrs {
+						pages[a.Page()] = struct{}{}
+						seenP[a.Page()] = struct{}{}
+					}
+					pageTouches += uint64(len(seenP))
+				case ScratchLoad, ScratchStore:
+					s.ScratchOps++
+				case Compute:
+					s.ComputeInsts++
+				case Barrier:
+					s.Barriers++
+				}
+			}
+		}
+	}
+	s.DistinctPages = len(pages)
+	if s.MemInsts > 0 {
+		s.Divergence = float64(s.CoalescedLines) / float64(s.MemInsts)
+		s.PagesPerInst = float64(pageTouches) / float64(s.MemInsts)
+	}
+	return s
+}
+
+// CoalesceLines returns the unique 128B line addresses touched by the
+// per-lane addresses, in first-touch order — the work of the paper's
+// per-CU coalescer, which merges lane accesses into the minimum number of
+// memory requests.
+func CoalesceLines(addrs []memory.VAddr) []memory.VAddr {
+	out := make([]memory.VAddr, 0, 4)
+	for _, a := range addrs {
+		la := a.Line()
+		dup := false
+		for _, o := range out {
+			if o == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, la)
+		}
+	}
+	return out
+}
+
+// Builder assembles a Trace by distributing warp-sized work chunks across
+// a fixed pool of warp contexts (NumCUs x WarpsPerCU), round-robin, the
+// way a persistent-threads GPU kernel spreads blocks over compute units.
+type Builder struct {
+	tr       *Trace
+	warpsPer int
+	next     int // round-robin cursor over all warp contexts
+}
+
+// NewBuilder creates a builder for numCUs compute units with warpsPerCU
+// concurrent warp contexts each.
+func NewBuilder(name string, asid memory.ASID, numCUs, warpsPerCU int) *Builder {
+	if numCUs <= 0 || warpsPerCU <= 0 {
+		panic("trace: builder needs positive CU and warp counts")
+	}
+	t := &Trace{Name: name, ASID: asid, CUs: make([]CUTrace, numCUs)}
+	for i := range t.CUs {
+		t.CUs[i].Warps = make([]WarpTrace, warpsPerCU)
+	}
+	return &Builder{tr: t, warpsPer: warpsPerCU}
+}
+
+// NumWarps returns the total warp-context count.
+func (b *Builder) NumWarps() int { return len(b.tr.CUs) * b.warpsPer }
+
+// Warp returns an emitter for the next warp context in round-robin order.
+// Consecutive calls spread work evenly over CUs.
+func (b *Builder) Warp() *WarpEmitter {
+	cu := b.next % len(b.tr.CUs)
+	warp := (b.next / len(b.tr.CUs)) % b.warpsPer
+	b.next++
+	return &WarpEmitter{b: b, cu: cu, warp: warp}
+}
+
+// Barrier appends a device-wide barrier to every warp context (a kernel
+// boundary): no warp proceeds past it until all have reached it.
+func (b *Builder) Barrier() {
+	for c := range b.tr.CUs {
+		for w := range b.tr.CUs[c].Warps {
+			b.tr.CUs[c].Warps[w] = append(b.tr.CUs[c].Warps[w], Inst{Kind: Barrier})
+		}
+	}
+	// Restart distribution from warp 0 so the next kernel spreads evenly.
+	b.next = 0
+}
+
+// Build returns the assembled trace.
+func (b *Builder) Build() *Trace { return b.tr }
+
+// WarpEmitter appends instructions to one warp context.
+type WarpEmitter struct {
+	b    *Builder
+	cu   int
+	warp int
+}
+
+func (w *WarpEmitter) emit(in Inst) *WarpEmitter {
+	cu := &w.b.tr.CUs[w.cu]
+	cu.Warps[w.warp] = append(cu.Warps[w.warp], in)
+	return w
+}
+
+// Load appends a global load touching the given lane addresses.
+func (w *WarpEmitter) Load(addrs ...memory.VAddr) *WarpEmitter {
+	if len(addrs) == 0 {
+		return w
+	}
+	return w.emit(Inst{Kind: Load, Addrs: addrs})
+}
+
+// Store appends a global store touching the given lane addresses.
+func (w *WarpEmitter) Store(addrs ...memory.VAddr) *WarpEmitter {
+	if len(addrs) == 0 {
+		return w
+	}
+	return w.emit(Inst{Kind: Store, Addrs: addrs})
+}
+
+// Compute appends cycles of computation.
+func (w *WarpEmitter) Compute(cycles uint64) *WarpEmitter {
+	if cycles == 0 {
+		return w
+	}
+	return w.emit(Inst{Kind: Compute, Cycles: cycles})
+}
+
+// ScratchLoad appends a scratchpad read of the given duration.
+func (w *WarpEmitter) ScratchLoad(cycles uint64) *WarpEmitter {
+	return w.emit(Inst{Kind: ScratchLoad, Cycles: cycles})
+}
+
+// ScratchStore appends a scratchpad write of the given duration.
+func (w *WarpEmitter) ScratchStore(cycles uint64) *WarpEmitter {
+	return w.emit(Inst{Kind: ScratchStore, Cycles: cycles})
+}

@@ -1,0 +1,163 @@
+// Package vcache is a simulation study of "Filtering Translation Bandwidth
+// with Virtual Caching" (Yoon, Lowe-Power & Sohi, ASPLOS 2018): a GPU
+// virtual cache hierarchy that uses the existing L1/L2 caches as a
+// bandwidth filter for shared address-translation hardware.
+//
+// The package bundles a trace-driven, event-driven GPU memory-system
+// simulator (compute units, coalescer, TLBs, caches, IOMMU with a
+// multi-threaded page-table walker, DRAM), the paper's forward-backward
+// table (FBT) that makes whole-hierarchy virtual caching practical, the
+// fifteen Rodinia/Pannotia-style workload generators the paper evaluates,
+// and an experiment suite that regenerates every table and figure.
+//
+// Quick start:
+//
+//	tr := vcache.BuildWorkload("pagerank", vcache.DefaultParams())
+//	base := vcache.Run(vcache.DesignBaseline512(), tr)
+//	vc := vcache.Run(vcache.DesignVCOpt(), tr)
+//	fmt.Printf("speedup %.2fx\n", vc.SpeedupOver(base))
+//
+// The exported names are aliases of the implementation packages under
+// internal/, so the full method sets are available through this package.
+package vcache
+
+import (
+	"fmt"
+
+	"vcache/internal/core"
+	"vcache/internal/experiments"
+	"vcache/internal/memory"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+// Core system types.
+type (
+	// Config describes a full simulated SoC (GPU, caches, TLBs, IOMMU,
+	// FBT, DRAM, latencies) and the MMU design to use.
+	Config = core.Config
+	// System is an assembled SoC ready to run one trace.
+	System = core.System
+	// Results captures a run's measurements.
+	Results = core.Results
+	// MMUKind selects the translation/caching organization.
+	MMUKind = core.MMUKind
+	// FaultCounts records page faults, permission faults and read-write
+	// synonym faults observed during a run.
+	FaultCounts = core.FaultCounts
+	// ProbeBreakdown classifies per-CU TLB misses by where the data
+	// resided (Figure 2).
+	ProbeBreakdown = core.ProbeBreakdown
+	// Lifetimes holds TLB-entry and cache-line residence CDFs (Figure 12).
+	Lifetimes = core.Lifetimes
+	// Latencies are the SoC's fixed latencies in GPU cycles.
+	Latencies = core.Latencies
+	// ASID identifies an address space (process) on the GPU.
+	ASID = memory.ASID
+	// VAddr is a virtual byte address.
+	VAddr = memory.VAddr
+	// Perm is a page-permission bit set.
+	Perm = memory.Perm
+)
+
+// Permission bits for Space().MapSynonym / SetDefaultPerm.
+const (
+	PermRead  = memory.PermRead
+	PermWrite = memory.PermWrite
+)
+
+// MMU designs.
+const (
+	// IdealMMU has infinite translation capacity and bandwidth at zero
+	// latency.
+	IdealMMU = core.IdealMMU
+	// PhysicalBaseline is the conventional per-CU-TLB + physical-cache
+	// design.
+	PhysicalBaseline = core.PhysicalBaseline
+	// VirtualHierarchy is the paper's proposal: virtual L1 + L2 caches
+	// with an FBT in the IOMMU.
+	VirtualHierarchy = core.VirtualHierarchy
+	// L1OnlyVirtual virtualizes only the L1 caches (CPU-style design).
+	L1OnlyVirtual = core.L1OnlyVirtual
+)
+
+// Workload types.
+type (
+	// Params controls workload trace generation (scale, CU count, seed).
+	Params = workloads.Params
+	// Generator names one of the paper's fifteen workloads.
+	Generator = workloads.Generator
+	// Trace is a generated SIMT memory trace.
+	Trace = trace.Trace
+	// TraceBuilder assembles custom traces for use with Run.
+	TraceBuilder = trace.Builder
+	// ExperimentSuite regenerates the paper's tables and figures.
+	ExperimentSuite = experiments.Suite
+)
+
+// Design presets (Table 2 plus the comparison points of Figures 10/11).
+var (
+	DesignIdeal              = core.DesignIdeal
+	DesignBaseline512        = core.DesignBaseline512
+	DesignBaseline16K        = core.DesignBaseline16K
+	DesignBaselineLargePerCU = core.DesignBaselineLargePerCU
+	DesignVC                 = core.DesignVC
+	DesignVCOpt              = core.DesignVCOpt
+	DesignVCOptDSR           = core.DesignVCOptDSR
+	DesignL1OnlyVC           = core.DesignL1OnlyVC
+)
+
+// DefaultParams returns the default workload parameters: 16 CUs, 8 warp
+// contexts per CU, unit scale, fixed seed.
+func DefaultParams() Params { return workloads.DefaultParams() }
+
+// Workloads returns the full workload catalog in the paper's order.
+func Workloads() []Generator { return workloads.All() }
+
+// HighBandwidthWorkloads returns the paper's high-translation-bandwidth
+// subset (used by Figures 5, 9 and 10).
+func HighBandwidthWorkloads() []Generator { return workloads.HighBandwidth() }
+
+// BuildWorkload generates the named workload's trace, panicking on unknown
+// names (use Workloads to enumerate valid ones).
+func BuildWorkload(name string, p Params) *Trace {
+	g, ok := workloads.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("vcache: unknown workload %q", name))
+	}
+	return g.Build(p)
+}
+
+// NewTraceBuilder creates a builder for hand-written traces: numCUs
+// compute units with warpsPerCU concurrent warp contexts each, in the
+// default address space (ASID 1).
+func NewTraceBuilder(name string, numCUs, warpsPerCU int) *TraceBuilder {
+	return trace.NewBuilder(name, 1, numCUs, warpsPerCU)
+}
+
+// NewTraceBuilderASID is NewTraceBuilder for an explicit address space,
+// for multi-process scenarios: running traces with different ASIDs on one
+// System context-switches between their address spaces.
+func NewTraceBuilderASID(name string, asid ASID, numCUs, warpsPerCU int) *TraceBuilder {
+	return trace.NewBuilder(name, asid, numCUs, warpsPerCU)
+}
+
+// LoadTrace reads a trace saved by Trace.Save (or cmd/tracegen -o).
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+
+// NewSystem assembles a system; use it instead of Run when you need to
+// prepare state first (synonym mappings, permissions) or to drive
+// shootdowns and coherence probes.
+func NewSystem(cfg Config) *System { return core.New(cfg) }
+
+// Run simulates tr to completion under cfg and returns the measurements.
+func Run(cfg Config, tr *Trace) Results { return core.Run(cfg, tr) }
+
+// NewExperimentSuite builds a suite that regenerates the paper's tables
+// and figures over the named workloads (nil = all fifteen).
+func NewExperimentSuite(p Params, subset []string) (*ExperimentSuite, error) {
+	return experiments.New(p, subset)
+}
+
+// ExperimentIDs lists the regenerable tables and figures in paper order.
+func ExperimentIDs() []string { return experiments.Figures() }
