@@ -9,7 +9,10 @@
 package vcache
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"vcache/internal/experiments"
 	"vcache/internal/workloads"
@@ -130,6 +133,51 @@ func BenchmarkFig11_L1OnlyComparison(b *testing.B) {
 		if d.L1Only32 > 0 {
 			b.ReportMetric(d.FullVC/d.L1Only32, "full-vs-l1only")
 		}
+	}
+}
+
+// BenchmarkSuiteParallel measures the experiment scheduler's scaling on
+// the 3-workload bench suite: the union of every paper figure's run plan
+// executed at 1, 2, 4 and NumCPU workers. The "speedup" metric is serial
+// wall-clock over parallel wall-clock (so workers=1 reports ~1.0 and the
+// trajectory of the others tracks the harness's throughput across PRs).
+// On a single-core machine every point degenerates to ~1.0 by design —
+// the scheduler only changes when simulations run, never what they
+// compute.
+func BenchmarkSuiteParallel(b *testing.B) {
+	ids := experiments.Figures()
+	measure := func(workers int) float64 {
+		s, err := experiments.New(benchParams(), benchWorkloads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Workers = workers
+		start := time.Now()
+		if err := s.Precompute(ids...); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Pair a serial reference with every timed iteration: the
+			// testing framework re-invokes the parent function when it
+			// re-runs a sub-benchmark, so state shared across b.Run
+			// calls is unreliable. ns/op covers only the parallel run;
+			// the serial reference is measured with the timer stopped.
+			var serialTotal, parallelTotal float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				serialTotal += measure(1)
+				b.StartTimer()
+				parallelTotal += measure(workers)
+			}
+			b.ReportMetric(serialTotal/parallelTotal, "speedup")
+		})
 	}
 }
 

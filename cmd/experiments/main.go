@@ -6,6 +6,12 @@
 //	experiments -fig 9 -fig 10           # specific figures
 //	experiments -workloads pagerank,bfs  # restrict the workload set
 //	experiments -scale 2 -seed 7         # bigger inputs, different seed
+//	experiments -parallel 1              # serial execution (default: all cores)
+//
+// Independent (workload, design) simulations run concurrently on a worker
+// pool (-parallel, default NumCPU). Each simulation is single-threaded
+// and deterministic, so the figure text is byte-identical at any
+// -parallel setting; only wall-clock time changes.
 //
 // Output is the text rendering of each table/figure; absolute numbers
 // depend on the synthetic inputs, but the shapes track the paper (see
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vcache/internal/experiments"
@@ -35,6 +42,7 @@ func main() {
 	cus := flag.Int("cus", 16, "number of compute units")
 	warps := flag.Int("warps", 8, "warp contexts per CU")
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results are identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
 	flag.Parse()
@@ -49,6 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	suite.Workers = *parallel
 	if !*quiet {
 		suite.Progress = os.Stderr
 	}
@@ -72,6 +81,13 @@ func main() {
 		}
 	}
 	ids = expanded
+	// Execute the union of every requested figure's simulations on the
+	// worker pool up front; rendering below then reads memoized results,
+	// so the figure text is byte-identical at any -parallel setting.
+	if err := suite.Precompute(ids...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	for _, id := range ids {
 		out, err := suite.Render(id)
 		if err != nil {

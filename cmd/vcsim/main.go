@@ -1,11 +1,19 @@
-// Command vcsim runs one workload under one MMU design and prints the
-// run's statistics — the quickest way to poke at the simulator.
+// Command vcsim runs one workload under one or more MMU designs and
+// prints each run's statistics — the quickest way to poke at the
+// simulator.
 //
 // Usage:
 //
 //	vcsim -workload pagerank -design vc-opt
 //	vcsim -workload bfs -design baseline-512 -scale 2
+//	vcsim -workload fw -design baseline-512,vc-opt,ideal
+//	vcsim -workload mis -design all -parallel 4
 //	vcsim -list
+//
+// With several designs (comma-separated, or "all"), the simulations run
+// concurrently on a worker pool (-parallel, default NumCPU) over the one
+// shared immutable trace; each simulation is single-threaded and
+// deterministic, and results print in the order the designs were named.
 package main
 
 import (
@@ -13,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"vcache/internal/core"
 	"vcache/internal/report"
@@ -54,7 +64,8 @@ var designNames = []string{
 func main() {
 	wl := flag.String("workload", "pagerank", "workload name")
 	traceFile := flag.String("tracefile", "", "replay a saved trace instead of generating one")
-	design := flag.String("design", "baseline-512", "MMU design: "+strings.Join(designNames, ", "))
+	design := flag.String("design", "baseline-512",
+		"MMU design(s), comma-separated or 'all': "+strings.Join(designNames, ", "))
 	scale := flag.Int("scale", 1, "workload input scale factor")
 	seed := flag.Uint64("seed", 42, "synthetic input seed")
 	cus := flag.Int("cus", 16, "number of compute units")
@@ -62,7 +73,8 @@ func main() {
 	probe := flag.Bool("probe", false, "classify TLB misses by data residency (Figure 2)")
 	iommubw := flag.Int("iommubw", -1, "override IOMMU lookups/cycle (0 = unlimited)")
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
-	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
+	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	list := flag.Bool("list", false, "list workloads and designs")
 	flag.Parse()
 
@@ -82,15 +94,23 @@ func main() {
 		return
 	}
 
-	cfg, ok := designByName(*design)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown design %q (try -list)\n", *design)
-		os.Exit(1)
+	names := strings.Split(*design, ",")
+	if strings.ToLower(strings.TrimSpace(*design)) == "all" {
+		names = designNames
 	}
-	cfg.ProbeResidency = *probe
-	cfg.LargePages = *largePages
-	if *iommubw >= 0 {
-		cfg = cfg.WithIOMMUBandwidth(*iommubw)
+	var cfgs []core.Config
+	for _, n := range names {
+		cfg, ok := designByName(strings.TrimSpace(n))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown design %q (try -list)\n", n)
+			os.Exit(1)
+		}
+		cfg.ProbeResidency = *probe
+		cfg.LargePages = *largePages
+		if *iommubw >= 0 {
+			cfg = cfg.WithIOMMUBandwidth(*iommubw)
+		}
+		cfgs = append(cfgs, cfg)
 	}
 
 	var tr *trace.Trace
@@ -114,16 +134,47 @@ func main() {
 	fmt.Printf("workload %s: %d mem insts, %d coalesced lines, divergence %.2f, %d pages\n",
 		tr.Name, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
 
-	r := core.Run(cfg, tr)
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+	// Fan the designs out over a worker pool; the trace is immutable and
+	// each core.Run builds its own System, so runs are independent.
+	results := make([]core.Results, len(cfgs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = core.Run(cfg, tr)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printResults(r, *probe)
+	}
+}
+
+func printResults(r core.Results, probe bool) {
 	fmt.Printf("design   %s (%v)\n", r.Design, r.Kind)
 	fmt.Printf("cycles   %d (%.3f ms at 700 MHz)\n", r.Cycles, float64(r.Cycles)/700e3)
 	if r.PerCUTLB.Accesses() > 0 {
@@ -153,7 +204,7 @@ func main() {
 		fmt.Printf("FBT      %d allocations, %d evictions, %d synonym accesses, %d RW-synonym faults\n",
 			r.FBT.Allocations, r.FBT.Evictions, r.FBT.SynonymAccesses, r.FBT.RWSynonymFaults)
 	}
-	if *probe && r.Probe.TLBMisses > 0 {
+	if probe && r.Probe.TLBMisses > 0 {
 		p := r.Probe
 		fmt.Printf("TLB-miss residency: %d misses -> %.1f%% L1-hit, %.1f%% L2-hit, %.1f%% memory (filtered: %.1f%%)\n",
 			p.TLBMisses,

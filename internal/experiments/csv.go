@@ -21,10 +21,13 @@ var csvColumns = []string{
 }
 
 // WriteCSV dumps every memoized run as one CSV row, sorted by workload
-// then design, so sweeps can be analysed outside Go.
+// then design, so sweeps can be analysed outside Go. It snapshots the
+// memo (waiting for in-flight simulations), so it is safe to call while
+// runs are executing concurrently.
 func (s *Suite) WriteCSV(w io.Writer) error {
-	keys := make([]string, 0, len(s.results))
-	for k := range s.results {
+	results := s.Results()
+	keys := make([]string, 0, len(results))
+	for k := range results {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -35,7 +38,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 	f := func(x float64) string { return fmt.Sprintf("%.6f", x) }
 	u := func(x uint64) string { return fmt.Sprintf("%d", x) }
 	for _, k := range keys {
-		r := s.results[k]
+		r := results[k]
 		row := []string{
 			r.Workload, r.Design, u(r.Cycles),
 			u(r.PerCUTLB.Accesses()), u(r.PerCUTLB.Misses), f(r.PerCUTLBMissRatio()),
@@ -55,5 +58,10 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// RunCount returns how many simulations the suite has memoized.
-func (s *Suite) RunCount() int { return len(s.results) }
+// RunCount returns how many simulations the suite has memoized
+// (including any still in flight).
+func (s *Suite) RunCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}

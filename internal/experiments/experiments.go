@@ -2,12 +2,22 @@
 // evaluation. A Suite memoizes workload traces and simulation runs so
 // figures that share configurations (e.g. the Baseline 512 runs used by
 // Figures 2, 3, 4, 8 and 9) simulate each combination once.
+//
+// Every simulation is a self-contained, single-threaded, deterministic
+// event loop over an immutable trace, so independent (workload, design)
+// pairs are embarrassingly parallel. The suite exploits that: each figure
+// declares the runs it needs (see plan.go), and Precompute executes the
+// union of the requested figures' plans on a worker pool — traces first,
+// then simulations — while the render methods read the memoized results.
+// Results are bit-identical to serial execution; only scheduling changes.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"vcache/internal/core"
@@ -15,23 +25,48 @@ import (
 	"vcache/internal/workloads"
 )
 
-// Suite runs experiments over a workload set.
+// Suite runs experiments over a workload set. All methods are safe for
+// concurrent use: traces and results are memoized behind a singleflight,
+// so a key requested by many goroutines simulates exactly once and every
+// caller receives the identical result.
 type Suite struct {
 	Params workloads.Params
 	// Progress, when non-nil, receives one line per completed simulation.
+	// Writes are serialized so lines stay unfragmented under concurrency.
 	Progress io.Writer
+	// Workers bounds the goroutine pool used by Precompute and RunAll
+	// (0 = runtime.NumCPU()). Individual simulations are always
+	// single-threaded; Workers only controls how many run at once.
+	Workers int
 
-	gens    []workloads.Generator
-	traces  map[string]*trace.Trace
-	results map[string]core.Results
+	gens []workloads.Generator
+
+	mu      sync.Mutex // guards the traces and results maps
+	traces  map[string]*traceCall
+	results map[string]*runCall
+
+	progressMu sync.Mutex
+}
+
+// traceCall and runCall are singleflight slots: the goroutine that claims
+// a key does the work and closes done; later arrivals wait on done and
+// read the stored value.
+type traceCall struct {
+	done chan struct{}
+	tr   *trace.Trace
+}
+
+type runCall struct {
+	done chan struct{}
+	res  core.Results
 }
 
 // New builds a suite over the named workloads (empty = the full catalog).
 func New(p workloads.Params, subset []string) (*Suite, error) {
 	s := &Suite{
 		Params:  p,
-		traces:  make(map[string]*trace.Trace),
-		results: make(map[string]core.Results),
+		traces:  make(map[string]*traceCall),
+		results: make(map[string]*runCall),
 	}
 	if len(subset) == 0 {
 		s.gens = workloads.All()
@@ -63,35 +98,104 @@ func (s *Suite) highBandwidth() []workloads.Generator {
 	return out
 }
 
-// Trace builds (and caches) the named workload's trace.
-func (s *Suite) Trace(name string) *trace.Trace {
-	if tr, ok := s.traces[name]; ok {
-		return tr
+// generator looks the named workload up in the suite's own subset — not
+// the global catalog, so a suite built over a subset never silently
+// builds traces for workloads outside it.
+func (s *Suite) generator(name string) (workloads.Generator, bool) {
+	for _, g := range s.gens {
+		if g.Name == name {
+			return g, true
+		}
 	}
-	g, ok := workloads.ByName(name)
+	return workloads.Generator{}, false
+}
+
+// workers resolves the pool size.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Trace builds (and caches) the named workload's trace. The name must
+// belong to the suite's workload set; anything else is an error.
+func (s *Suite) Trace(name string) (*trace.Trace, error) {
+	g, ok := s.generator(name)
 	if !ok {
-		panic("experiments: unknown workload " + name)
+		return nil, fmt.Errorf("experiments: workload %q not in suite", name)
 	}
-	tr := g.Build(s.Params)
-	s.traces[name] = tr
-	return tr
+	s.mu.Lock()
+	if c, ok := s.traces[name]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.tr, nil
+	}
+	c := &traceCall{done: make(chan struct{})}
+	s.traces[name] = c
+	s.mu.Unlock()
+	c.tr = g.Build(s.Params)
+	close(c.done)
+	return c.tr, nil
 }
 
 // Run simulates workload wl under cfg, memoized on (wl, cfg.Name). Configs
 // with the same Name must be identical; the design presets guarantee this.
+// Concurrent callers racing on one key all receive the result computed by
+// whichever goroutine claimed it first. Run panics if wl is outside the
+// suite's workload set (a programmer error — figures only request their
+// own suite's generators); use Trace to probe membership.
 func (s *Suite) Run(wl string, cfg core.Config) core.Results {
-	key := wl + "\x00" + cfg.Name
-	if r, ok := s.results[key]; ok {
-		return r
+	tr, err := s.Trace(wl)
+	if err != nil {
+		panic(err)
 	}
+	key := runKey(wl, cfg.Name)
+	s.mu.Lock()
+	if c, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res
+	}
+	c := &runCall{done: make(chan struct{})}
+	s.results[key] = c
+	s.mu.Unlock()
 	start := time.Now()
-	r := core.Run(cfg, s.Trace(wl))
-	if s.Progress != nil {
-		fmt.Fprintf(s.Progress, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
-			wl, cfg.Name, r.Cycles, time.Since(start).Seconds())
+	c.res = core.Run(cfg, tr)
+	close(c.done)
+	s.logf("  ran %-14s %-22s %9d cycles  (%.1fs)\n",
+		wl, cfg.Name, c.res.Cycles, time.Since(start).Seconds())
+	return c.res
+}
+
+// runKey is the memoization key for one simulation.
+func runKey(wl, design string) string { return wl + "\x00" + design }
+
+// Results returns a snapshot of every memoized run, keyed by
+// workload + "\x00" + design name, waiting for in-flight simulations.
+func (s *Suite) Results() map[string]core.Results {
+	s.mu.Lock()
+	calls := make(map[string]*runCall, len(s.results))
+	for k, c := range s.results {
+		calls[k] = c
 	}
-	s.results[key] = r
-	return r
+	s.mu.Unlock()
+	out := make(map[string]core.Results, len(calls))
+	for k, c := range calls {
+		<-c.done
+		out[k] = c.res
+	}
+	return out
+}
+
+// logf serializes Progress writes so concurrent runs never interleave.
+func (s *Suite) logf(format string, args ...any) {
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	if s.Progress == nil {
+		return
+	}
+	fmt.Fprintf(s.Progress, format, args...)
 }
 
 // baseline512 returns the Baseline 512 design with residency probing on,

@@ -44,10 +44,8 @@ type BankedRow struct {
 	QueueDelay   uint64
 }
 
-// Banked runs the §3.2 alternative study on the high-bandwidth subset:
-// a 4-banked shared TLB (bank conflicts) vs a true 4-wide port vs the
-// virtual cache hierarchy, all against the ideal MMU.
-func (s *Suite) Banked() ([]BankedRow, string) {
+// bankedDesigns lists the §3.2 alternative designs in render order.
+func bankedDesigns() []core.Config {
 	banked := core.DesignBaseline16K()
 	banked.Name = "Baseline 16K (4 banks)"
 	banked.IOMMU.Banks = 4
@@ -55,7 +53,14 @@ func (s *Suite) Banked() ([]BankedRow, string) {
 	wide := core.DesignBaseline16K().WithIOMMUBandwidth(4)
 	wide.Name = "Baseline 16K (4-wide port)"
 
-	designs := []core.Config{core.DesignBaseline16K(), banked, wide, core.DesignVCOpt()}
+	return []core.Config{core.DesignBaseline16K(), banked, wide, core.DesignVCOpt()}
+}
+
+// Banked runs the §3.2 alternative study on the high-bandwidth subset:
+// a 4-banked shared TLB (bank conflicts) vs a true 4-wide port vs the
+// virtual cache hierarchy, all against the ideal MMU.
+func (s *Suite) Banked() ([]BankedRow, string) {
+	designs := bankedDesigns()
 	var rows []BankedRow
 	for _, cfg := range designs {
 		var rel []float64
@@ -95,13 +100,19 @@ type LargePagesRow struct {
 	VCOverLarge float64 // VC (4KB) over 2MB baseline
 }
 
+// largePagesConfig is Baseline 512 backed by 2MB pages.
+func largePagesConfig() core.Config {
+	large := baseline512Probed()
+	large.Name = "Baseline 512 (2MB pages)"
+	large.LargePages = true
+	return large
+}
+
 // LargePages runs the §3.2 large-page discussion: 2MB pages collapse TLB
 // misses at this input scale (a few MB); the paper's point is that they
 // stop helping once working sets reach hundreds of GB (scale with -scale).
 func (s *Suite) LargePages() ([]LargePagesRow, string) {
-	large := baseline512Probed()
-	large.Name = "Baseline 512 (2MB pages)"
-	large.LargePages = true
+	large := largePagesConfig()
 	var rows []LargePagesRow
 	for _, g := range s.highBandwidth() {
 		small := s.Run(g.Name, baseline512Probed())

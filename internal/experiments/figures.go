@@ -11,6 +11,16 @@ import (
 // perCUTLBSizes is the Figure 2 sweep (0 = infinite).
 var perCUTLBSizes = []int{32, 64, 128, 0}
 
+// fig2Config is the Figure 2 design point at one per-CU TLB size.
+func fig2Config(size int) core.Config {
+	cfg := baseline512Probed()
+	if size != 32 {
+		cfg = cfg.WithPerCUTLB(size)
+		cfg.ProbeResidency = true
+	}
+	return cfg
+}
+
 func sizeLabel(n int) string {
 	if n == 0 {
 		return "inf"
@@ -76,12 +86,7 @@ func (s *Suite) Fig2() ([]Fig2Row, string) {
 	var rows []Fig2Row
 	for _, g := range s.gens {
 		for _, size := range perCUTLBSizes {
-			cfg := baseline512Probed()
-			if size != 32 {
-				cfg = cfg.WithPerCUTLB(size)
-				cfg.ProbeResidency = true
-			}
-			r := s.Run(g.Name, cfg)
+			r := s.Run(g.Name, fig2Config(size))
 			p := r.Probe
 			acc := r.PerCUTLB.Accesses()
 			row := Fig2Row{Workload: g.Name, TLBSize: size, MissRatio: r.PerCUTLBMissRatio()}
@@ -126,10 +131,16 @@ type Fig3Row struct {
 	FracAbove1     float64
 }
 
-// Fig3 measures IOMMU TLB accesses/cycle with no bandwidth limit.
-func (s *Suite) Fig3() ([]Fig3Row, string) {
+// fig3Config is Baseline 512 with the IOMMU bandwidth limit removed.
+func fig3Config() core.Config {
 	cfg := baseline512Probed().WithIOMMUBandwidth(0)
 	cfg.Name = "Baseline 512 (unlimited IOMMU BW)"
+	return cfg
+}
+
+// Fig3 measures IOMMU TLB accesses/cycle with no bandwidth limit.
+func (s *Suite) Fig3() ([]Fig3Row, string) {
+	cfg := fig3Config()
 	byName := map[string]Fig3Row{}
 	means := map[string]float64{}
 	var names []string
@@ -209,15 +220,24 @@ type Fig5Row struct {
 	RelativeTime float64
 }
 
+// fig5Bandwidths is the Figure 5 peak-bandwidth sweep.
+var fig5Bandwidths = []int{1, 2, 3, 4}
+
+// fig5Config is Baseline 16K at one IOMMU lookup bandwidth.
+func fig5Config(bw int) core.Config {
+	cfg := core.DesignBaseline16K().WithIOMMUBandwidth(bw)
+	if bw != 1 {
+		cfg.Name = fmt.Sprintf("Baseline 16K (BW %d)", bw)
+	}
+	return cfg
+}
+
 // Fig5 sweeps the IOMMU lookup bandwidth for high-translation-bandwidth
 // workloads with a 16K shared TLB (isolating serialization from capacity).
 func (s *Suite) Fig5() ([]Fig5Row, string) {
 	var rows []Fig5Row
-	for _, bw := range []int{1, 2, 3, 4} {
-		cfg := core.DesignBaseline16K().WithIOMMUBandwidth(bw)
-		if bw != 1 {
-			cfg.Name = fmt.Sprintf("Baseline 16K (BW %d)", bw)
-		}
+	for _, bw := range fig5Bandwidths {
+		cfg := fig5Config(bw)
 		var rel []float64
 		for _, g := range s.highBandwidth() {
 			ideal := s.Run(g.Name, core.DesignIdeal())
@@ -453,24 +473,30 @@ type Fig12Row struct {
 	L2Data     float64
 }
 
-// Fig12 records residence-time CDFs for the bfs workload (or the suite's
-// first workload if bfs is not selected).
-func (s *Suite) Fig12() ([]Fig12Row, string) {
-	wl := "bfs"
-	found := false
+// fig12Workload picks Figure 12's subject: bfs, or the suite's first
+// workload when bfs is not selected.
+func (s *Suite) fig12Workload() string {
 	for _, g := range s.gens {
-		if g.Name == wl {
-			found = true
-			break
+		if g.Name == "bfs" {
+			return g.Name
 		}
 	}
-	if !found {
-		wl = s.gens[0].Name
-	}
+	return s.gens[0].Name
+}
+
+// fig12Config is Baseline 512 with lifetime tracking on.
+func fig12Config() core.Config {
 	cfg := baseline512Probed()
 	cfg.Name = "Baseline 512 (lifetimes)"
 	cfg.TrackLifetimes = true
-	r := s.Run(wl, cfg)
+	return cfg
+}
+
+// Fig12 records residence-time CDFs for the bfs workload (or the suite's
+// first workload if bfs is not selected).
+func (s *Suite) Fig12() ([]Fig12Row, string) {
+	wl := s.fig12Workload()
+	r := s.Run(wl, fig12Config())
 	const cyclesPerNs = 0.7 // 700 MHz
 	var rows []Fig12Row
 	for ns := 0.0; ns <= 40000; ns += 2500 {
@@ -501,8 +527,14 @@ func Figures() []string {
 	return []string{"table1", "table2", "2", "3", "4", "5", "8", "9", "10", "11", "12"}
 }
 
-// Render runs one experiment by id and returns its text.
+// Render runs one experiment by id and returns its text. The figure's
+// simulations execute on the suite's worker pool first (see Precompute),
+// so even a single figure's independent runs go wide; the serial render
+// below then reads memoized results in a deterministic order.
 func (s *Suite) Render(id string) (string, error) {
+	if err := s.Precompute(id); err != nil {
+		return "", err
+	}
 	switch id {
 	case "table1":
 		return Table1(), nil
@@ -555,8 +587,13 @@ func (s *Suite) Render(id string) (string, error) {
 	}
 }
 
-// RenderAll runs every experiment and concatenates the reports.
+// RenderAll runs every experiment and concatenates the reports. The
+// union of all figures' runs is precomputed up front so runs shared
+// across figures parallelize together.
 func (s *Suite) RenderAll() string {
+	if err := s.Precompute(Figures()...); err != nil {
+		panic(err)
+	}
 	var b strings.Builder
 	for _, id := range Figures() {
 		out, err := s.Render(id)
