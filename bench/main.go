@@ -1,0 +1,152 @@
+// Command bench runs the repository's benchmarks and writes a dated JSON
+// performance snapshot (BENCH_<date>.json): ns/op, B/op, allocs/op and any
+// custom metrics (events/sec, speedup) for every benchmark it ran. The
+// committed snapshots form the perf history of the simulator; CI uploads a
+// fresh one per run as a non-gating artifact.
+//
+// Usage:
+//
+//	go run ./bench                  # micro benchmarks + the serial suite run
+//	go run ./bench -quick           # micro benchmarks only (seconds, not minutes)
+//	go run ./bench -note "..."      # attach a free-form note to the snapshot
+//	go run ./bench -out DIR         # where to write BENCH_<date>.json (default bench/)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the BENCH_<date>.json document.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the full-suite benchmark (runs micro benchmarks only)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	outDir := flag.String("out", "bench", "directory for the BENCH_<date>.json snapshot")
+	benchtime := flag.String("benchtime", "", "override -benchtime for the micro benchmarks")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Note:      *note,
+	}
+
+	// Micro benchmarks: engine, caches, TLBs — fast, default benchtime.
+	micro := []string{"./internal/sim", "./internal/cache", "./internal/tlb"}
+	args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	if err := runBench(&snap, append(args, micro...)); err != nil {
+		fatal(err)
+	}
+
+	// The acceptance benchmark: one serial pass over the experiment suite
+	// (the workers=1 point is the tracked wall-clock number).
+	if !*quick {
+		err := runBench(&snap, []string{
+			"test", "-run", "^$", "-bench", "BenchmarkSuiteParallel/workers=1$",
+			"-benchtime", "1x", "-timeout", "60m", ".",
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// runBench executes `go <args>`, echoes its output, and folds parsed
+// benchmark lines into the snapshot.
+func runBench(snap *Snapshot, args []string) error {
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	runErr := cmd.Run()
+	os.Stderr.Write(out.Bytes())
+	parse(snap, out.String())
+	if runErr != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), runErr)
+	}
+	return nil
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// Format per line: Name-P <iterations> {<value> <unit>}...
+func parse(snap *Snapshot, output string) {
+	pkg := ""
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimSuffix(f[0], fmt.Sprintf("-%d", runtime.NumCPU())),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+}

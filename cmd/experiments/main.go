@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"vcache/internal/experiments"
+	"vcache/internal/prof"
 	"vcache/internal/workloads"
 )
 
@@ -46,6 +47,13 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
 	var subset []string

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"vcache/internal/core"
+	"vcache/internal/prof"
 	"vcache/internal/report"
 	"vcache/internal/trace"
 	"vcache/internal/workloads"
@@ -77,6 +78,13 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	list := flag.Bool("list", false, "list workloads and designs")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("workloads:")

@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+// The simulator calls Access on every coalesced request, so it must not
+// allocate — hit or miss, read or write. Guarded here so a regression
+// shows up as a test failure, not as a silent GC slowdown.
+func TestAccessZeroAlloc(t *testing.T) {
+	c := New(Config{SizeBytes: 256 * 1024, LineBytes: 128, Assoc: 8, Policy: WriteBack})
+	for i := 0; i < 512; i++ {
+		c.Fill(uint64(i)*128, memory.PermRead|memory.PermWrite, 1, false)
+	}
+	i := uint64(0)
+	checks := map[string]func(){
+		"read hit":   func() { c.Access(i%512*128, false); i++ },
+		"write hit":  func() { c.Access(i%512*128, true); i++ },
+		"read miss":  func() { c.Access((1<<30)+i*128, false); i++ },
+		"write miss": func() { c.Access((1<<30)+i*128, true); i++ },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("Access (%s): %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// Probe and find are on the Figure 2 classification path for every TLB
+// miss; they must not allocate either.
+func TestProbeZeroAlloc(t *testing.T) {
+	c := New(Config{SizeBytes: 256 * 1024, LineBytes: 128, Assoc: 8, Policy: WriteBack})
+	for i := 0; i < 512; i++ {
+		c.Fill(uint64(i)*128, memory.PermRead, 1, false)
+	}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() { c.Probe(i % 1024 * 128); i++ }); n != 0 {
+		t.Errorf("Probe: %v allocs/op, want 0", n)
+	}
+}

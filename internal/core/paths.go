@@ -37,24 +37,38 @@ type lineWaiter func(perm memory.Perm, filled bool)
 
 // fetchLine coalesces misses on key (a line address). The first requester
 // runs fetch, which must eventually call lineReady(key, ...) exactly once;
-// later requesters just queue their waiter.
+// later requesters just queue their waiter. Waiter lists come from a pool
+// refilled by lineReady, so merging allocates nothing at steady state.
 func (s *System) fetchLine(key uint64, w lineWaiter, fetch func()) {
 	if list, outstanding := s.l2Pending[key]; outstanding {
 		s.lineMerges++
 		s.l2Pending[key] = append(list, w)
 		return
 	}
-	s.l2Pending[key] = []lineWaiter{w}
+	var list []lineWaiter
+	if n := len(s.linePool); n > 0 {
+		list = s.linePool[n-1]
+		s.linePool = s.linePool[:n-1]
+	} else {
+		list = make([]lineWaiter, 0, 8)
+	}
+	s.l2Pending[key] = append(list, w)
 	fetch()
 }
 
-// lineReady resolves all waiters for key.
+// lineReady resolves all waiters for key and recycles their list. Waiters
+// may re-enter fetchLine; the list returns to the pool only after the last
+// one ran, so reentrant fetches never see it.
 func (s *System) lineReady(key uint64, perm memory.Perm, filled bool) {
 	list := s.l2Pending[key]
 	delete(s.l2Pending, key)
 	for _, w := range list {
 		w(perm, filled)
 	}
+	for i := range list {
+		list[i] = nil // release closure references
+	}
+	s.linePool = append(s.linePool, list[:0])
 }
 
 // translatePerCU runs the per-CU TLB, falling back to the IOMMU over the
@@ -106,6 +120,14 @@ func (s *System) missToIOMMU(cu int, va memory.VAddr, vpn memory.VPN, write bool
 	}
 	if list, outstanding := s.tlbPending[cu][vpn]; outstanding {
 		s.tlbMerges++
+		if list == nil {
+			if n := len(s.tlbWaitPool); n > 0 {
+				list = s.tlbWaitPool[n-1]
+				s.tlbWaitPool = s.tlbWaitPool[:n-1]
+			} else {
+				list = make([]func(memory.PTE, bool), 0, 8)
+			}
+		}
 		s.tlbPending[cu][vpn] = append(list, k)
 		return
 	}
@@ -134,6 +156,12 @@ func (s *System) missToIOMMU(cu int, va memory.VAddr, vpn memory.VPN, write bool
 					// Merged requests are loads/stores of the same
 					// page; permission intent travels with each.
 					s.deliverTranslation(r, write, w)
+				}
+				if waiters != nil {
+					for i := range waiters {
+						waiters[i] = nil
+					}
+					s.tlbWaitPool = append(s.tlbWaitPool, waiters[:0])
 				}
 			})
 		})

@@ -76,11 +76,15 @@ type System struct {
 	lifetimes *Lifetimes
 
 	// tlbPending merges concurrent same-page TLB misses per CU; l2Pending
-	// merges concurrent misses to the same line (MSHR behaviour).
-	tlbPending []map[memory.VPN][]func(memory.PTE, bool)
-	l2Pending  map[uint64][]lineWaiter
-	tlbMerges  uint64
-	lineMerges uint64
+	// merges concurrent misses to the same line (MSHR behaviour). The two
+	// pools recycle drained waiter lists so steady-state miss merging does
+	// not allocate.
+	tlbPending  []map[memory.VPN][]func(memory.PTE, bool)
+	l2Pending   map[uint64][]lineWaiter
+	linePool    [][]lineWaiter
+	tlbWaitPool [][]func(memory.PTE, bool)
+	tlbMerges   uint64
+	lineMerges  uint64
 
 	synonymReplays uint64
 	remapHits      uint64 // synonym accesses redirected by remap tables
@@ -265,7 +269,7 @@ func (s *System) Prepare(tr *trace.Trace) {
 		for _, w := range cu.Warps {
 			for _, in := range w {
 				if in.Kind == trace.Load || in.Kind == trace.Store {
-					for _, a := range in.Addrs {
+					for _, a := range tr.Addrs(in) {
 						if s.cfg.LargePages {
 							s.as.EnsureMappedLarge(a)
 						} else {

@@ -7,6 +7,12 @@
 // each MMU design (physical baseline, ideal MMU, virtual cache hierarchy).
 // Scratchpad accesses complete locally without touching TLBs or caches, as
 // in the baseline system.
+//
+// Warp stepping is allocation-free: each warp implements sim.Handler and
+// re-schedules itself with an action argument (step / advance / issue line
+// i), and coalesced lines land in a per-warp buffer reused across
+// instructions, so replaying an instruction allocates nothing beyond what
+// the memory path itself does.
 package gpu
 
 import (
@@ -75,14 +81,28 @@ type cu struct {
 	warps []*warp
 }
 
+// Warp event arguments (sim.Handler). Values >= warpIssue0 issue the
+// coalesced line at index arg-warpIssue0 of the warp's line buffer.
+const (
+	warpStep   = 0 // execute the instruction at pc
+	warpNext   = 1 // advance pc, then execute
+	warpIssue0 = 2
+)
+
 type warp struct {
 	g       *GPU
 	cu      *cu
 	stream  trace.WarpTrace
+	arena   []memory.VAddr // owning trace's lane-address arena
 	pc      int
 	pending int
 	waiting bool // at a barrier
 	done    bool
+
+	write    bool           // current memory instruction is a store
+	blocking bool           // warp waits for the current instruction's lines
+	lines    []memory.VAddr // reused coalesced-line buffer
+	lineDone func()         // completion callback, created once per warp
 }
 
 // New builds a GPU front-end over the given memory path.
@@ -115,7 +135,8 @@ func (g *GPU) Launch(tr *trace.Trace, onComplete func()) {
 			if len(ws) == 0 {
 				continue
 			}
-			w := &warp{g: g, cu: c, stream: ws}
+			w := &warp{g: g, cu: c, stream: ws, arena: tr.Arena}
+			w.lineDone = w.onLineDone
 			c.warps = append(c.warps, w)
 			g.liveWarps++
 		}
@@ -126,8 +147,7 @@ func (g *GPU) Launch(tr *trace.Trace, onComplete func()) {
 	}
 	for _, c := range g.cus {
 		for _, w := range c.warps {
-			w := w
-			g.eng.Schedule(0, w.step)
+			g.eng.ScheduleEvent(0, w, warpStep)
 		}
 	}
 }
@@ -143,6 +163,18 @@ func (g *GPU) complete() {
 	}
 }
 
+// Handle dispatches a scheduled warp event (sim.Handler).
+func (w *warp) Handle(arg uint64) {
+	switch arg {
+	case warpStep:
+		w.step()
+	case warpNext:
+		w.next()
+	default:
+		w.issueLine(int(arg - warpIssue0))
+	}
+}
+
 // step executes the warp's next instruction.
 func (w *warp) step() {
 	if w.pc >= len(w.stream) {
@@ -155,14 +187,14 @@ func (w *warp) step() {
 	switch in.Kind {
 	case trace.Compute:
 		g.st.ComputeCycles += in.Cycles
-		g.eng.Schedule(in.Cycles, w.next)
+		g.eng.ScheduleEvent(in.Cycles, w, warpNext)
 	case trace.ScratchLoad, trace.ScratchStore:
 		g.st.ScratchOps++
 		lat := in.Cycles
 		if lat == 0 {
 			lat = g.cfg.ScratchLatency
 		}
-		g.eng.Schedule(lat, w.next)
+		g.eng.ScheduleEvent(lat, w, warpNext)
 	case trace.Load, trace.Store:
 		w.issueMemory(in)
 	case trace.Barrier:
@@ -204,45 +236,65 @@ func (g *GPU) checkBarrier() {
 		for _, w := range c.warps {
 			if w.waiting {
 				w.waiting = false
-				w := w
-				g.eng.Schedule(1, w.next)
+				g.eng.ScheduleEvent(1, w, warpNext)
 			}
 		}
 	}
 }
 
+// issueMemory coalesces the instruction's lane addresses into the warp's
+// line buffer and schedules one issue event per line through the CU port.
+// The buffer and instruction state (write/blocking) stay valid until every
+// issue event has fired, which is guaranteed before the warp advances: a
+// blocking warp waits for all completions, and a non-blocking store
+// advances at lastSlot+1, strictly after the last issue slot.
 func (w *warp) issueMemory(in trace.Inst) {
 	g := w.g
-	write := in.Kind == trace.Store
+	addrs := w.arena[in.Off : uint64(in.Off)+uint64(in.Lanes)]
+	w.write = in.Kind == trace.Store
 	g.st.MemInsts++
-	g.st.LaneAccesses += uint64(len(in.Addrs))
-	lines := trace.CoalesceLines(in.Addrs)
-	g.st.CoalescedReqs += uint64(len(lines))
-	blocking := !write || g.cfg.BlockOnStore
-	if blocking {
-		w.pending = len(lines)
+	g.st.LaneAccesses += uint64(len(addrs))
+	w.lines = trace.CoalesceLinesInto(w.lines[:0], addrs)
+	g.st.CoalescedReqs += uint64(len(w.lines))
+	w.blocking = !w.write || g.cfg.BlockOnStore
+	if w.blocking {
+		w.pending = len(w.lines)
 	}
 	var lastSlot uint64
-	for _, line := range lines {
-		line := line
+	for i := range w.lines {
 		slot := w.cu.port.Admit()
 		if slot > lastSlot {
 			lastSlot = slot
 		}
-		g.eng.At(slot, func() {
-			g.path.Access(w.cu.id, line, write, func() {
-				if blocking {
-					w.pending--
-					if w.pending == 0 {
-						w.next()
-					}
-				}
-			})
-		})
+		g.eng.AtEvent(slot, w, warpIssue0+uint64(i))
 	}
-	if !blocking {
+	if !w.blocking {
 		// Non-blocking store: the warp advances once the requests have
 		// been handed to the memory system.
-		g.eng.At(lastSlot+1, w.next)
+		g.eng.AtEvent(lastSlot+1, w, warpNext)
+	}
+}
+
+// nopDone absorbs completion callbacks of non-blocking stores. They may
+// arrive long after the warp has advanced to a later (possibly blocking)
+// instruction, so they must never touch the warp's pending count.
+func nopDone() {}
+
+// issueLine hands line i of the current memory instruction to the path.
+// w.lines/w.write/w.blocking are stable here: every issue event fires
+// before the warp can advance to its next instruction.
+func (w *warp) issueLine(i int) {
+	done := w.lineDone
+	if !w.blocking {
+		done = nopDone
+	}
+	w.g.path.Access(w.cu.id, w.lines[i], w.write, done)
+}
+
+// onLineDone retires one outstanding line of a blocking instruction.
+func (w *warp) onLineDone() {
+	w.pending--
+	if w.pending == 0 {
+		w.next()
 	}
 }

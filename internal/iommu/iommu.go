@@ -91,7 +91,10 @@ type IOMMU struct {
 
 	// pending merges concurrent misses to the same page into one walk,
 	// like the walker's MSHRs: duplicates attach to the outstanding walk.
-	pending map[pendKey][]func(Result)
+	// Drained waiter lists recycle through waitPool so merging stays
+	// allocation-free at steady state.
+	pending  map[pendKey][]func(Result)
+	waitPool [][]func(Result)
 }
 
 type pendKey struct {
@@ -204,6 +207,14 @@ func (io *IOMMU) walk(asid memory.ASID, vpn memory.VPN, done func(Result)) {
 	if list, outstanding := io.pending[k]; outstanding {
 		// A walk for this page is already in flight: attach to it.
 		io.st.MergedWalks++
+		if list == nil {
+			if n := len(io.waitPool); n > 0 {
+				list = io.waitPool[n-1]
+				io.waitPool = io.waitPool[:n-1]
+			} else {
+				list = make([]func(Result), 0, 8)
+			}
+		}
 		io.pending[k] = append(list, done)
 		return
 	}
@@ -223,6 +234,12 @@ func (io *IOMMU) walk(asid memory.ASID, vpn memory.VPN, done func(Result)) {
 		done(res)
 		for _, w := range waiters {
 			w(res)
+		}
+		if waiters != nil {
+			for i := range waiters {
+				waiters[i] = nil
+			}
+			io.waitPool = append(io.waitPool, waiters[:0])
 		}
 	})
 }

@@ -1,0 +1,73 @@
+// Package prof wires the standard pprof and runtime/trace collectors to
+// command-line flags shared by the simulator binaries. Importing the
+// package registers -cpuprofile, -memprofile and -trace on the default
+// flag set; Start begins whatever the user asked for.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+var (
+	cpuOut   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
+)
+
+// Start begins the collections requested via flags (flag.Parse must have
+// run). The returned stop function flushes and closes them and must run
+// before the process exits for the files to be complete.
+func Start() (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if *memOut == "" {
+			return
+		}
+		f, err := os.Create(*memOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+	}, nil
+}

@@ -64,6 +64,7 @@ type Walker struct {
 	pwc   *cache.Cache
 	busy  int
 	queue []pending
+	free  []*walkState // recycled walk threads; steady state allocates nothing
 	stats Stats
 }
 
@@ -71,6 +72,23 @@ type pending struct {
 	vpn      memory.VPN
 	enqueued uint64
 	done     func(Result)
+}
+
+// walkState is one in-flight walk thread. It implements sim.Handler (PWC
+// hits re-schedule it directly) and carries a method-value callback for
+// DRAM completions, so advancing a walk level allocates nothing; states
+// recycle through Walker.free across walks.
+type walkState struct {
+	w         *Walker
+	pte       memory.PTE
+	tr        memory.WalkTrace
+	levels    int
+	level     int
+	began     uint64
+	fill      uint64 // PWC fill address of the in-flight memory read
+	cacheable bool
+	done      func(Result)
+	resume    func() // == memDone, bound once when the state is created
 }
 
 // New builds a walker over the given page table, using mem for PT entry
@@ -116,46 +134,72 @@ func (w *Walker) Walk(vpn memory.VPN, done func(Result)) {
 
 func (w *Walker) start(vpn memory.VPN, done func(Result)) {
 	w.busy++
-	began := w.eng.Now()
-	pte, tr, levels := w.pt.Walk(vpn)
-	w.step(vpn, pte, tr, levels, 0, began, done)
+	var ws *walkState
+	if n := len(w.free); n > 0 {
+		ws = w.free[n-1]
+		w.free = w.free[:n-1]
+	} else {
+		ws = &walkState{w: w}
+		ws.resume = ws.memDone
+	}
+	ws.began = w.eng.Now()
+	ws.pte, ws.tr, ws.levels = w.pt.Walk(vpn)
+	ws.level = 0
+	ws.done = done
+	ws.step()
 }
 
-// step processes one page-table level access, then recurses to the next.
-func (w *Walker) step(vpn memory.VPN, pte memory.PTE, tr memory.WalkTrace, levels, level int, began uint64, done func(Result)) {
-	if level >= levels {
-		w.finish(pte, began, done)
+// Handle advances the walk after a scheduled PWC-hit latency (sim.Handler).
+func (ws *walkState) Handle(uint64) {
+	ws.level++
+	ws.step()
+}
+
+// memDone advances the walk after a DRAM read of a page-table entry.
+func (ws *walkState) memDone() {
+	if ws.cacheable {
+		ws.w.pwc.Fill(ws.fill, memory.PermRead, 0, false)
+	}
+	ws.level++
+	ws.step()
+}
+
+// step processes one page-table level access, then schedules the next.
+func (ws *walkState) step() {
+	w := ws.w
+	if ws.level >= ws.levels {
+		w.finish(ws)
 		return
 	}
-	addr := uint64(tr[level])
-	cacheable := level < w.cfg.CachedLevels
+	addr := uint64(ws.tr[ws.level])
+	cacheable := ws.level < w.cfg.CachedLevels
 	if cacheable {
 		if _, hit := w.pwc.Access(addr, false); hit {
 			w.stats.PWCHits++
-			w.eng.Schedule(w.cfg.PWCHitLatency, func() {
-				w.step(vpn, pte, tr, levels, level+1, began, done)
-			})
+			w.eng.ScheduleEvent(w.cfg.PWCHitLatency, ws, 0)
 			return
 		}
 		w.stats.PWCMisses++
 	}
-	w.mem.Access(false, func() {
-		if cacheable {
-			w.pwc.Fill(addr, memory.PermRead, 0, false)
-		}
-		w.step(vpn, pte, tr, levels, level+1, began, done)
-	})
+	// At most one memory read is in flight per walk thread, so fill and
+	// cacheable stay stable until resume fires.
+	ws.fill = addr
+	ws.cacheable = cacheable
+	w.mem.Access(false, ws.resume)
 }
 
-func (w *Walker) finish(pte memory.PTE, began uint64, done func(Result)) {
-	w.stats.WalkCycles += w.eng.Now() - began
+func (w *Walker) finish(ws *walkState) {
+	w.stats.WalkCycles += w.eng.Now() - ws.began
 	// Large-page walks legitimately resolve in three levels; only an
 	// invalid PTE is a fault.
-	res := Result{PTE: pte, Fault: !pte.Valid}
+	res := Result{PTE: ws.pte, Fault: !ws.pte.Valid}
 	if res.Fault {
 		w.stats.Faults++
 	}
 	w.busy--
+	done := ws.done
+	ws.done = nil // release the continuation before pooling
+	w.free = append(w.free, ws)
 	// Start a queued walk, if any, before delivering the result so the
 	// pool stays saturated.
 	if len(w.queue) > 0 {

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the engine's previous container/heap
+// scheduler as a trusted ordering oracle: a binary heap on (when, seq).
+type refEvent struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)      { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h refHeap) peekWhen() uint64 { return h[0].when }
+func (h refHeap) pending() int     { return len(h) }
+
+// refEngine is the reference scheduler with the same API subset.
+type refEngine struct {
+	pq    refHeap
+	now   uint64
+	seq   uint64
+	fired uint64
+}
+
+func (e *refEngine) Now() uint64   { return e.now }
+func (e *refEngine) Fired() uint64 { return e.fired }
+func (e *refEngine) Pending() int  { return e.pq.pending() }
+
+func (e *refEngine) Schedule(delay uint64, fn func()) { e.At(e.now+delay, fn) }
+
+func (e *refEngine) At(when uint64, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	heap.Push(&e.pq, refEvent{when: when, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+func (e *refEngine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(refEvent)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+func (e *refEngine) Run() uint64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+func (e *refEngine) RunUntil(limit uint64) uint64 {
+	for len(e.pq) > 0 && e.pq.peekWhen() <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// firing records one observed event execution.
+type firing struct {
+	id    int
+	cycle uint64
+}
+
+// TestDifferentialRandomStreams drives the calendar-queue engine and the
+// reference heap with identical randomized (delay, chain) streams and
+// requires identical firing order — including zero-delay same-cycle FIFO
+// semantics — plus matching Pending()/Fired()/Now() at every step.
+func TestDifferentialRandomStreams(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		// Pre-draw a shared schedule script so both engines see the same
+		// stream. Each root event may chain children with fresh delays,
+		// exercising scheduling from inside handlers.
+		const roots = 200
+		type node struct {
+			delay    uint64
+			children int
+		}
+		script := make([]node, 0, roots)
+		for i := 0; i < roots; i++ {
+			// Mix tight deltas (in-window), zero delays, and far-future
+			// jumps that must route through the overflow heap.
+			var d uint64
+			switch rng.Intn(10) {
+			case 0:
+				d = 0
+			case 1, 2:
+				d = uint64(rng.Intn(8))
+			case 3:
+				d = uint64(2000 + rng.Intn(5000)) // beyond the 1024 window
+			default:
+				d = uint64(rng.Intn(300))
+			}
+			script = append(script, node{delay: d, children: rng.Intn(3)})
+		}
+		childDelay := func(r *rand.Rand) uint64 {
+			if r.Intn(4) == 0 {
+				return uint64(1500 + r.Intn(3000))
+			}
+			return uint64(r.Intn(64))
+		}
+
+		run := func(schedule func(delay uint64, fn func()), step func() bool) []firing {
+			var got []firing
+			id := 0
+			crng := rand.New(rand.NewSource(int64(7777 + trial)))
+			var chain func(myID int, children, depth int)
+			chain = func(myID, children, depth int) {
+				for c := 0; c < children; c++ {
+					cid := id
+					id++
+					kids := 0
+					if depth < 2 {
+						kids = crng.Intn(2)
+					}
+					d := childDelay(crng)
+					chain2 := func() { chain(cid, kids, depth+1) }
+					schedule(d, func() {
+						got = append(got, firing{id: cid, cycle: 0})
+						chain2()
+					})
+				}
+			}
+			for _, n := range script {
+				myID := id
+				id++
+				n := n
+				schedule(n.delay, func() {
+					got = append(got, firing{id: myID, cycle: 0})
+					chain(myID, n.children, 0)
+				})
+			}
+			for step() {
+			}
+			return got
+		}
+
+		eng := New()
+		ref := &refEngine{}
+
+		gotNew := run(eng.Schedule, func() bool {
+			fired := eng.Step()
+			return fired
+		})
+		gotRef := run(ref.Schedule, ref.Step)
+
+		if len(gotNew) != len(gotRef) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(gotNew), len(gotRef))
+		}
+		for i := range gotNew {
+			if gotNew[i].id != gotRef[i].id {
+				t.Fatalf("trial %d: firing %d: got event %d, reference %d", trial, i, gotNew[i].id, gotRef[i].id)
+			}
+		}
+		if eng.Fired() != ref.Fired() {
+			t.Fatalf("trial %d: Fired() = %d, reference %d", trial, eng.Fired(), ref.Fired())
+		}
+		if eng.Pending() != 0 || ref.Pending() != 0 {
+			t.Fatalf("trial %d: queues not drained: %d vs %d", trial, eng.Pending(), ref.Pending())
+		}
+		if eng.Now() != ref.Now() {
+			t.Fatalf("trial %d: final clock %d, reference %d", trial, eng.Now(), ref.Now())
+		}
+	}
+}
+
+// TestDifferentialLockstep steps both engines one event at a time and
+// compares Now/Fired/Pending after every step, over a stream that also
+// clamps past-scheduling via At.
+func TestDifferentialLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	eng := New()
+	ref := &refEngine{}
+
+	var orderNew, orderRef []int
+	schedulePair := func(when uint64, id int) {
+		eng.At(when, func() { orderNew = append(orderNew, id) })
+		ref.At(when, func() { orderRef = append(orderRef, id) })
+	}
+	for i := 0; i < 500; i++ {
+		schedulePair(uint64(rng.Intn(4000)), i)
+	}
+	step := 0
+	for {
+		a := eng.Step()
+		b := ref.Step()
+		if a != b {
+			t.Fatalf("step %d: Step() = %v, reference %v", step, a, b)
+		}
+		if !a {
+			break
+		}
+		if eng.Now() != ref.Now() {
+			t.Fatalf("step %d: Now() = %d, reference %d", step, eng.Now(), ref.Now())
+		}
+		if eng.Pending() != ref.Pending() {
+			t.Fatalf("step %d: Pending() = %d, reference %d", step, eng.Pending(), ref.Pending())
+		}
+		if eng.Fired() != ref.Fired() {
+			t.Fatalf("step %d: Fired() = %d, reference %d", step, eng.Fired(), ref.Fired())
+		}
+		step++
+	}
+	for i := range orderNew {
+		if orderNew[i] != orderRef[i] {
+			t.Fatalf("firing %d: got %d, reference %d", i, orderNew[i], orderRef[i])
+		}
+	}
+}
+
+// TestDifferentialRunUntil compares RunUntil horizons, including horizons
+// that land between events and past the final event.
+func TestDifferentialRunUntil(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eng := New()
+	ref := &refEngine{}
+	for i := 0; i < 300; i++ {
+		d := uint64(rng.Intn(5000))
+		eng.Schedule(d, func() {})
+		ref.Schedule(d, func() {})
+	}
+	for _, limit := range []uint64{0, 1, 100, 1023, 1024, 1025, 2500, 4999, 10000} {
+		gn := eng.RunUntil(limit)
+		gr := ref.RunUntil(limit)
+		if gn != gr {
+			t.Fatalf("RunUntil(%d) = %d, reference %d", limit, gn, gr)
+		}
+		if eng.Pending() != ref.Pending() {
+			t.Fatalf("RunUntil(%d): Pending() = %d, reference %d", limit, eng.Pending(), ref.Pending())
+		}
+		if eng.Fired() != ref.Fired() {
+			t.Fatalf("RunUntil(%d): Fired() = %d, reference %d", limit, eng.Fired(), ref.Fired())
+		}
+	}
+}

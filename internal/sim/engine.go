@@ -1,44 +1,74 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a priority queue of events ordered by (cycle,
-// sequence). Components schedule callbacks at absolute or relative cycles;
-// the engine runs them in order, advancing a global clock. Determinism is
-// guaranteed: events scheduled for the same cycle fire in the order they
-// were scheduled.
+// The engine orders events by (cycle, sequence). Components schedule
+// callbacks at absolute or relative cycles; the engine runs them in order,
+// advancing a global clock. Determinism is guaranteed: events scheduled for
+// the same cycle fire in the order they were scheduled.
+//
+// Internally the engine is a hierarchical calendar queue specialized for
+// the near-monotonic cycle deltas a cycle-level simulator produces: events
+// within a fixed window of the clock land in per-cycle buckets (append =
+// O(1), no comparisons), a bitmap over the buckets finds the next occupied
+// cycle with a handful of word scans, and the rare far-future event goes to
+// a typed overflow heap that drains into the window as the clock advances.
+// Bucket slabs are reused across cycles, so steady-state scheduling
+// performs no allocations and no interface boxing — the costs that
+// dominated the previous container/heap implementation.
 package sim
 
-import "container/heap"
+import "math/bits"
 
-// Event is a scheduled callback.
+// Handler consumes a scheduled event. Components that schedule in their
+// hot path should implement Handler and use ScheduleEvent/AtEvent: the
+// (receiver, arg) pair is stored directly in the queue, so no closure is
+// allocated per event.
+type Handler interface {
+	Handle(arg uint64)
+}
+
+// funcHandler adapts a plain callback to Handler. Func values are pointers,
+// so the interface conversion does not allocate.
+type funcHandler func()
+
+func (f funcHandler) Handle(uint64) { f() }
+
+// bucketEvent is an in-window queue entry. Its cycle is implied by the
+// bucket holding it and its FIFO rank by its position, so only the handler
+// and argument are stored — 24 bytes moved per schedule/fire.
+type bucketEvent struct {
+	h   Handler
+	arg uint64
+}
+
+// event is an overflow-heap entry: a far-future event that needs its
+// explicit cycle, plus the sequence number that breaks same-cycle ties
+// when the heap drains into the calendar window.
 type event struct {
-	when uint64 // cycle at which the event fires
-	seq  uint64 // tie-breaker: schedule order
-	fn   func()
+	h    Handler
+	arg  uint64
+	when uint64
+	seq  uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+const (
+	// windowBits sizes the calendar window. 1024 cycles covers every
+	// latency in the modeled SoC (DRAM is ~160 cycles), so overflow-heap
+	// traffic is limited to deliberately far-future events.
+	windowBits = 10
+	numBuckets = 1 << windowBits
+	bucketMask = numBuckets - 1
+	wordCount  = numBuckets / 64
+)
 
 // Engine is a discrete-event simulator clocked in cycles.
 // The zero value is ready to use.
 type Engine struct {
-	pq    eventHeap
+	buckets  [numBuckets][]bucketEvent // per-cycle FIFO slabs for [now, now+numBuckets)
+	occupied [wordCount]uint64         // bit i set <=> buckets[i] holds unconsumed events
+	cur      int                       // read cursor into the current cycle's bucket
+	bucketed int                       // unconsumed events resident in buckets
+	overflow []event                   // min-heap on (when, seq) for events past the window
+
 	now   uint64
 	seq   uint64
 	fired uint64
@@ -54,36 +84,138 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.bucketed + len(e.overflow) }
 
 // Schedule enqueues fn to run delay cycles from now. A delay of zero runs
 // fn later in the current cycle (after all previously scheduled events for
 // this cycle).
 func (e *Engine) Schedule(delay uint64, fn func()) {
-	e.At(e.now+delay, fn)
+	e.at(e.now+delay, funcHandler(fn), 0)
 }
 
 // At enqueues fn to run at the absolute cycle when. Scheduling in the past
 // is clamped to the current cycle.
 func (e *Engine) At(when uint64, fn func()) {
+	e.at(when, funcHandler(fn), 0)
+}
+
+// ScheduleEvent enqueues h.Handle(arg) to run delay cycles from now
+// without allocating: the handler and argument are stored inline in the
+// queue. Semantics match Schedule.
+func (e *Engine) ScheduleEvent(delay uint64, h Handler, arg uint64) {
+	e.at(e.now+delay, h, arg)
+}
+
+// AtEvent enqueues h.Handle(arg) at the absolute cycle when. Semantics
+// match At.
+func (e *Engine) AtEvent(when uint64, h Handler, arg uint64) {
+	e.at(when, h, arg)
+}
+
+func (e *Engine) at(when uint64, h Handler, arg uint64) {
 	if when < e.now {
 		when = e.now
 	}
-	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+	if when-e.now < numBuckets {
+		i := int(when & bucketMask)
+		e.buckets[i] = append(e.buckets[i], bucketEvent{h: h, arg: arg})
+		e.occupied[i>>6] |= 1 << uint(i&63)
+		e.bucketed++
+		return
+	}
+	// seq is only assigned on the overflow path: bucketed events get their
+	// FIFO rank from append order, and pullOverflow drains the heap before
+	// any same-cycle direct append can happen, so relative order among
+	// overflow entries is all the tie-break must preserve.
+	e.pushOverflow(event{h: h, arg: arg, when: when, seq: e.seq})
 	e.seq++
 }
 
 // Step runs the single next event, advancing the clock to its cycle.
 // It reports whether an event was run.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
-		return false
+	i := int(e.now & bucketMask)
+	b := &e.buckets[i]
+	if e.cur >= len(*b) {
+		// Current cycle fully consumed: recycle its slab and move on.
+		*b = (*b)[:0]
+		e.cur = 0
+		e.occupied[i>>6] &^= 1 << uint(i&63)
+		if e.bucketed == 0 && len(e.overflow) == 0 {
+			return false
+		}
+		e.advance()
+		i = int(e.now & bucketMask)
+		b = &e.buckets[i]
 	}
-	ev := heap.Pop(&e.pq).(event)
-	e.now = ev.when
+	ev := (*b)[e.cur]
+	(*b)[e.cur] = bucketEvent{} // release the handler for GC
+	e.cur++
+	e.bucketed--
 	e.fired++
-	ev.fn()
+	ev.h.Handle(ev.arg)
 	return true
+}
+
+// advance moves the clock to the next cycle holding an event and refills
+// the window from the overflow heap. Callers guarantee at least one event
+// is pending and the current bucket is drained.
+func (e *Engine) advance() {
+	if e.bucketed > 0 {
+		e.now += e.nextOccupiedDelta()
+	} else {
+		// All in-window buckets are empty, so the earliest event sits at
+		// the top of the overflow heap (its when is >= now+numBuckets).
+		e.now = e.overflow[0].when
+	}
+	e.pullOverflow()
+}
+
+// nextOccupiedDelta returns the distance in cycles from now to the nearest
+// occupied bucket, scanning the occupancy bitmap circularly. Bucketed
+// events always lie within (now, now+numBuckets), so the circular distance
+// is exact, never ambiguous.
+func (e *Engine) nextOccupiedDelta() uint64 {
+	start := int((e.now + 1) & bucketMask)
+	w := start >> 6
+	word := e.occupied[w] &^ (1<<uint(start&63) - 1)
+	for {
+		if word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			d := (i - int(e.now&bucketMask) + numBuckets) & bucketMask
+			return uint64(d)
+		}
+		w = (w + 1) & (wordCount - 1)
+		word = e.occupied[w]
+	}
+}
+
+// pullOverflow moves overflow events that now fall inside the calendar
+// window into their buckets. The heap pops in (when, seq) order and any
+// event scheduled directly into a window bucket carries a later seq, so
+// bucket append order remains global (when, seq) order.
+func (e *Engine) pullOverflow() {
+	for len(e.overflow) > 0 && e.overflow[0].when-e.now < numBuckets {
+		ev := e.popOverflow()
+		i := int(ev.when & bucketMask)
+		e.buckets[i] = append(e.buckets[i], bucketEvent{h: ev.h, arg: ev.arg})
+		e.occupied[i>>6] |= 1 << uint(i&63)
+		e.bucketed++
+	}
+}
+
+// next returns the cycle of the earliest pending event.
+func (e *Engine) next() (uint64, bool) {
+	if e.cur < len(e.buckets[e.now&bucketMask]) {
+		return e.now, true
+	}
+	if e.bucketed > 0 {
+		return e.now + e.nextOccupiedDelta(), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].when, true
+	}
+	return 0, false
 }
 
 // Run executes events until the queue is empty and returns the final cycle.
@@ -97,11 +229,75 @@ func (e *Engine) Run() uint64 {
 // queued. It returns the engine's clock, which is advanced to limit if the
 // queue drained or the next event is past the limit.
 func (e *Engine) RunUntil(limit uint64) uint64 {
-	for len(e.pq) > 0 && e.pq[0].when <= limit {
+	for {
+		when, ok := e.next()
+		if !ok || when > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.now < limit {
+		// Jumping the clock moves the calendar window: retire the current
+		// (fully consumed) bucket's cursor and refill from overflow so the
+		// window invariant holds at the new time.
+		i := int(e.now & bucketMask)
+		e.buckets[i] = e.buckets[i][:0]
+		e.cur = 0
+		e.occupied[i>>6] &^= 1 << uint(i&63)
 		e.now = limit
+		e.pullOverflow()
 	}
 	return e.now
+}
+
+// ---------------------------------------------------------------------------
+// Typed overflow min-heap on (when, seq). Hand-rolled instead of
+// container/heap so pushes and pops move concrete events — no interface
+// boxing, no per-operation allocation.
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.overflow[i], &e.overflow[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) pushOverflow(ev event) {
+	e.overflow = append(e.overflow, ev)
+	i := len(e.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.overflow[i], e.overflow[parent] = e.overflow[parent], e.overflow[i]
+		i = parent
+	}
+}
+
+func (e *Engine) popOverflow() event {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the handler for GC
+	e.overflow = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }

@@ -1,0 +1,54 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+// Lookup runs once per coalesced access in designs with per-CU TLBs and
+// once per IOMMU request everywhere else: it must never allocate.
+func TestLookupZeroAlloc(t *testing.T) {
+	finite := New(Config{Entries: 128, Assoc: 8})
+	for i := 0; i < 128; i++ {
+		finite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	infinite := New(Config{})
+	for i := 0; i < 1024; i++ {
+		infinite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	i := uint64(0)
+	checks := map[string]func(){
+		"finite hit":    func() { finite.Lookup(1, memory.VPN(i%128)); i++ },
+		"finite miss":   func() { finite.Lookup(1, memory.VPN(10000+i%128)); i++ },
+		"infinite hit":  func() { infinite.Lookup(1, memory.VPN(i%1024)); i++ },
+		"infinite miss": func() { infinite.Lookup(1, memory.VPN(10000+i%1024)); i++ },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("Lookup (%s): %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// Steady-state inserts — refreshing translations the TLB already holds, the
+// common case once an infinite TLB has seen the footprint — must not
+// allocate per call. (Growing into fresh pages may, as the map expands.)
+func TestInsertRefreshZeroAlloc(t *testing.T) {
+	finite := New(Config{Entries: 128, Assoc: 8})
+	infinite := New(Config{})
+	for i := 0; i < 128; i++ {
+		finite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+		infinite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	i := uint64(0)
+	checks := map[string]func(){
+		"finite":   func() { finite.Insert(1, memory.VPN(i%128), memory.PPN(i%128), memory.PermRead); i++ },
+		"infinite": func() { infinite.Insert(1, memory.VPN(i%128), memory.PPN(i%128), memory.PermRead); i++ },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("Insert refresh (%s): %v allocs/op, want 0", name, n)
+		}
+	}
+}

@@ -71,8 +71,9 @@ func (s Stats) MissRatio() float64 {
 type TLB struct {
 	cfg      Config
 	sets     [][]Entry
-	inf      map[key]*Entry
-	infLarge map[key]*Entry // infinite mode: 2MB entries, keyed by base
+	inf      map[key]Entry
+	infLarge map[key]Entry // infinite mode: 2MB entries, keyed by base
+	large    int           // finite mode: resident 2MB entries (skip probe when 0)
 	tick     uint64
 	stats    Stats
 
@@ -93,8 +94,8 @@ type key struct {
 func New(cfg Config) *TLB {
 	t := &TLB{cfg: cfg}
 	if cfg.Infinite() {
-		t.inf = make(map[key]*Entry)
-		t.infLarge = make(map[key]*Entry)
+		t.inf = make(map[key]Entry)
+		t.infLarge = make(map[key]Entry)
 		return t
 	}
 	assoc := cfg.Assoc
@@ -140,15 +141,17 @@ func largeBase(vpn memory.VPN) memory.VPN {
 func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 	t.tick++
 	if t.inf != nil {
+		// Infinite TLBs never evict by capacity, so LRU state is dead:
+		// hits are a single map read with no write-back.
 		if e, ok := t.inf[key{asid, vpn}]; ok {
-			e.lru = t.tick
 			t.stats.Hits++
-			return *e, true
+			return e, true
 		}
-		if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
-			e.lru = t.tick
-			t.stats.Hits++
-			return *e, true
+		if len(t.infLarge) > 0 {
+			if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
+				t.stats.Hits++
+				return e, true
+			}
 		}
 		t.stats.Misses++
 		return Entry{}, false
@@ -161,13 +164,15 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 			return set[i], true
 		}
 	}
-	base := largeBase(vpn)
-	set = t.sets[t.setIndex(asid, base)]
-	for i := range set {
-		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-			set[i].lru = t.tick
-			t.stats.Hits++
-			return set[i], true
+	if t.large > 0 {
+		base := largeBase(vpn)
+		set = t.sets[t.setIndex(asid, base)]
+		for i := range set {
+			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+				set[i].lru = t.tick
+				t.stats.Hits++
+				return set[i], true
+			}
 		}
 	}
 	t.stats.Misses++
@@ -190,11 +195,13 @@ func (t *TLB) Probe(asid memory.ASID, vpn memory.VPN) bool {
 			return true
 		}
 	}
-	base := largeBase(vpn)
-	set = t.sets[t.setIndex(asid, base)]
-	for i := range set {
-		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-			return true
+	if t.large > 0 {
+		base := largeBase(vpn)
+		set = t.sets[t.setIndex(asid, base)]
+		for i := range set {
+			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+				return true
+			}
 		}
 	}
 	return false
@@ -222,9 +229,9 @@ func (t *TLB) insert(e Entry) {
 	asid, vpn := e.ASID, e.VPN
 	if t.inf != nil {
 		if e.Large {
-			t.infLarge[key{asid, vpn}] = &e
+			t.infLarge[key{asid, vpn}] = e
 		} else {
-			t.inf[key{asid, vpn}] = &e
+			t.inf[key{asid, vpn}] = e
 		}
 		return
 	}
@@ -247,14 +254,26 @@ func (t *TLB) insert(e Entry) {
 		t.evict(&set[victim])
 	}
 	set[victim] = e
+	if e.Large {
+		t.large++
+	}
+}
+
+// evictNotify records an eviction and fires the lifetime hook. It does not
+// touch residency state; callers remove the entry themselves.
+func (t *TLB) evictNotify(e Entry) {
+	t.stats.Evictions++
+	if t.OnEvict != nil {
+		t.OnEvict(e, t.now()-e.insertedAt)
+	}
 }
 
 func (t *TLB) evict(e *Entry) {
-	t.stats.Evictions++
-	if t.OnEvict != nil {
-		t.OnEvict(*e, t.now()-e.insertedAt)
-	}
+	t.evictNotify(*e)
 	e.valid = false
+	if e.Large {
+		t.large--
+	}
 }
 
 // InvalidatePage drops the entry translating (asid, vpn) if present —
@@ -266,13 +285,13 @@ func (t *TLB) InvalidatePage(asid memory.ASID, vpn memory.VPN) bool {
 	if t.inf != nil {
 		k := key{asid, vpn}
 		if e, ok := t.inf[k]; ok {
-			t.evict(e)
+			t.evictNotify(e)
 			delete(t.inf, k)
 			hit = true
 		}
 		lk := key{asid, largeBase(vpn)}
 		if e, ok := t.infLarge[lk]; ok {
-			t.evict(e)
+			t.evictNotify(e)
 			delete(t.infLarge, lk)
 			hit = true
 		}
@@ -285,12 +304,14 @@ func (t *TLB) InvalidatePage(asid memory.ASID, vpn memory.VPN) bool {
 			hit = true
 		}
 	}
-	base := largeBase(vpn)
-	set = t.sets[t.setIndex(asid, base)]
-	for i := range set {
-		if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-			t.evict(&set[i])
-			hit = true
+	if t.large > 0 {
+		base := largeBase(vpn)
+		set = t.sets[t.setIndex(asid, base)]
+		for i := range set {
+			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+				t.evict(&set[i])
+				hit = true
+			}
 		}
 	}
 	return hit
@@ -301,11 +322,11 @@ func (t *TLB) InvalidateAll() {
 	t.stats.Shootdowns++
 	if t.inf != nil {
 		for k, e := range t.inf {
-			t.evict(e)
+			t.evictNotify(e)
 			delete(t.inf, k)
 		}
 		for k, e := range t.infLarge {
-			t.evict(e)
+			t.evictNotify(e)
 			delete(t.infLarge, k)
 		}
 		return
@@ -325,13 +346,13 @@ func (t *TLB) InvalidateASID(asid memory.ASID) {
 	if t.inf != nil {
 		for k, e := range t.inf {
 			if k.asid == asid {
-				t.evict(e)
+				t.evictNotify(e)
 				delete(t.inf, k)
 			}
 		}
 		for k, e := range t.infLarge {
 			if k.asid == asid {
-				t.evict(e)
+				t.evictNotify(e)
 				delete(t.infLarge, k)
 			}
 		}

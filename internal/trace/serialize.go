@@ -14,8 +14,11 @@ import (
 // traces for this simulator.
 
 const (
-	traceMagic   = "vcachetrace"
-	traceVersion = 1
+	traceMagic = "vcachetrace"
+	// Version 2: structure-of-arrays traces (flat Inst headers + shared
+	// lane-address arena). Version-1 files (per-instruction Addrs slices)
+	// are rejected; regenerate them with cmd/tracegen.
+	traceVersion = 2
 )
 
 type traceHeader struct {

@@ -4,6 +4,14 @@
 // and stores carrying up to 32 per-lane virtual addresses, scratchpad
 // operations (which bypass the TLB and caches, as in the paper's baseline),
 // compute delays, and device-wide barriers separating kernel phases.
+//
+// The representation is structure-of-arrays: each warp stream is a flat
+// []Inst of fixed-size headers, and all per-lane addresses live in one
+// shared arena ([]memory.VAddr) that instructions reference by (offset,
+// lane count). Replaying a trace therefore touches two dense arrays
+// instead of chasing a per-instruction slice header, and building one
+// performs a handful of large arena growths instead of one allocation per
+// memory instruction.
 package trace
 
 import (
@@ -44,11 +52,14 @@ func (k Kind) String() string {
 	}
 }
 
-// Inst is one SIMT instruction executed by a warp.
+// Inst is one SIMT instruction executed by a warp. Load/Store instructions
+// reference their per-lane addresses in the owning Trace's Arena via
+// [Off, Off+Lanes); resolve them with Trace.Addrs.
 type Inst struct {
 	Kind   Kind
-	Addrs  []memory.VAddr // per-lane addresses for Load/Store
-	Cycles uint64         // duration for Compute / scratch ops
+	Lanes  uint16 // lane count for Load/Store
+	Off    uint32 // arena offset of the first lane address
+	Cycles uint64 // duration for Compute / scratch ops
 }
 
 // WarpTrace is a warp's instruction stream.
@@ -61,9 +72,17 @@ type CUTrace struct {
 
 // Trace is a complete workload trace.
 type Trace struct {
-	Name string
-	ASID memory.ASID
-	CUs  []CUTrace
+	Name  string
+	ASID  memory.ASID
+	CUs   []CUTrace
+	Arena []memory.VAddr // per-lane addresses of every Load/Store
+}
+
+// Addrs returns in's per-lane addresses as a view into the trace arena.
+// The returned slice must not be mutated or retained past mutation of the
+// trace.
+func (t *Trace) Addrs(in Inst) []memory.VAddr {
+	return t.Arena[in.Off : uint64(in.Off)+uint64(in.Lanes)]
 }
 
 // Summary describes a trace's memory behaviour.
@@ -85,16 +104,19 @@ func (t *Trace) Summarize() Summary {
 	s := Summary{Name: t.Name}
 	pages := make(map[memory.VPN]struct{})
 	var pageTouches uint64
+	var lines []memory.VAddr
 	for _, cu := range t.CUs {
 		for _, w := range cu.Warps {
 			for _, in := range w {
 				switch in.Kind {
 				case Load, Store:
+					addrs := t.Addrs(in)
 					s.MemInsts++
-					s.LaneAccesses += uint64(len(in.Addrs))
-					s.CoalescedLines += uint64(len(CoalesceLines(in.Addrs)))
+					s.LaneAccesses += uint64(len(addrs))
+					lines = CoalesceLinesInto(lines[:0], addrs)
+					s.CoalescedLines += uint64(len(lines))
 					seenP := make(map[memory.VPN]struct{}, 4)
-					for _, a := range in.Addrs {
+					for _, a := range addrs {
 						pages[a.Page()] = struct{}{}
 						seenP[a.Page()] = struct{}{}
 					}
@@ -122,21 +144,26 @@ func (t *Trace) Summarize() Summary {
 // per-CU coalescer, which merges lane accesses into the minimum number of
 // memory requests.
 func CoalesceLines(addrs []memory.VAddr) []memory.VAddr {
-	out := make([]memory.VAddr, 0, 4)
+	return CoalesceLinesInto(make([]memory.VAddr, 0, 4), addrs)
+}
+
+// CoalesceLinesInto is CoalesceLines appending into dst (usually a reused
+// buffer sliced to [:0]), so a replay loop coalesces without allocating.
+func CoalesceLinesInto(dst, addrs []memory.VAddr) []memory.VAddr {
 	for _, a := range addrs {
 		la := a.Line()
 		dup := false
-		for _, o := range out {
+		for _, o := range dst {
 			if o == la {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, la)
+			dst = append(dst, la)
 		}
 	}
-	return out
+	return dst
 }
 
 // Builder assembles a Trace by distributing warp-sized work chunks across
@@ -188,6 +215,17 @@ func (b *Builder) Barrier() {
 // Build returns the assembled trace.
 func (b *Builder) Build() *Trace { return b.tr }
 
+// intern appends addrs to the arena and returns their (offset, count)
+// reference.
+func (b *Builder) intern(addrs []memory.VAddr) (uint32, uint16) {
+	off := len(b.tr.Arena)
+	if uint64(off)+uint64(len(addrs)) > 1<<32 {
+		panic("trace: arena exceeds 4G lane addresses")
+	}
+	b.tr.Arena = append(b.tr.Arena, addrs...)
+	return uint32(off), uint16(len(addrs))
+}
+
 // WarpEmitter appends instructions to one warp context.
 type WarpEmitter struct {
 	b    *Builder
@@ -206,7 +244,8 @@ func (w *WarpEmitter) Load(addrs ...memory.VAddr) *WarpEmitter {
 	if len(addrs) == 0 {
 		return w
 	}
-	return w.emit(Inst{Kind: Load, Addrs: addrs})
+	off, lanes := w.b.intern(addrs)
+	return w.emit(Inst{Kind: Load, Off: off, Lanes: lanes})
 }
 
 // Store appends a global store touching the given lane addresses.
@@ -214,7 +253,8 @@ func (w *WarpEmitter) Store(addrs ...memory.VAddr) *WarpEmitter {
 	if len(addrs) == 0 {
 		return w
 	}
-	return w.emit(Inst{Kind: Store, Addrs: addrs})
+	off, lanes := w.b.intern(addrs)
+	return w.emit(Inst{Kind: Store, Off: off, Lanes: lanes})
 }
 
 // Compute appends cycles of computation.

@@ -75,13 +75,16 @@ func TestAllGeneratorsProduceValidTraces(t *testing.T) {
 		for _, cu := range tr.CUs {
 			for _, w := range cu.Warps {
 				for _, in := range w {
-					for _, a := range in.Addrs {
+					if in.Kind != trace.Load && in.Kind != trace.Store {
+						continue
+					}
+					for _, a := range tr.Addrs(in) {
 						if a < 256<<20 {
 							t.Fatalf("%s: address %#x below layout base", g.Name, uint64(a))
 						}
 					}
-					if len(in.Addrs) > 32 {
-						t.Fatalf("%s: instruction with %d lanes", g.Name, len(in.Addrs))
+					if in.Lanes > 32 {
+						t.Fatalf("%s: instruction with %d lanes", g.Name, in.Lanes)
 					}
 				}
 			}
