@@ -35,7 +35,7 @@ func BenchmarkAblationFBTSize(b *testing.B) {
 		for _, entries := range []int{512, 8192, 16384} {
 			cfg := shrink(core.DesignVCOpt())
 			cfg.FBT.Entries = entries
-			r := core.Run(cfg, tr)
+			r := core.MustRun(cfg, tr)
 			switch entries {
 			case 512:
 				b.ReportMetric(float64(r.FBT.Evictions), "evictions-512")
@@ -59,8 +59,8 @@ func BenchmarkAblationInvFilter(b *testing.B) {
 		withF.FBT.Entries = 512 // force FBT evictions
 		withoutF := withF
 		withoutF.InvFilter = false
-		rw := core.Run(withF, tr)
-		ro := core.Run(withoutF, tr)
+		rw := core.MustRun(withF, tr)
+		ro := core.MustRun(withoutF, tr)
 		b.ReportMetric(float64(rw.L1FullFlushes), "flushes-filtered")
 		b.ReportMetric(float64(ro.L1FullFlushes), "flushes-unfiltered")
 	}
@@ -71,8 +71,8 @@ func BenchmarkAblationInvFilter(b *testing.B) {
 func BenchmarkAblationFBTSecondLevel(b *testing.B) {
 	tr := ablationTrace(b)
 	for i := 0; i < b.N; i++ {
-		noOpt := core.Run(shrink(core.DesignVC()), tr)
-		opt := core.Run(shrink(core.DesignVCOpt()), tr)
+		noOpt := core.MustRun(shrink(core.DesignVC()), tr)
+		opt := core.MustRun(shrink(core.DesignVCOpt()), tr)
 		b.ReportMetric(float64(noOpt.IOMMU.Walks), "walks-noopt")
 		b.ReportMetric(float64(opt.IOMMU.Walks), "walks-opt")
 		b.ReportMetric(float64(noOpt.Cycles)/float64(opt.Cycles), "opt-speedup")
@@ -87,9 +87,9 @@ func BenchmarkAblationBankedTLB(b *testing.B) {
 		banked := shrink(core.DesignBaseline16K())
 		banked.IOMMU.Banks = 4
 		wide := shrink(core.DesignBaseline16K()).WithIOMMUBandwidth(4)
-		rb := core.Run(banked, tr)
-		rw := core.Run(wide, tr)
-		rv := core.Run(shrink(core.DesignVCOpt()), tr)
+		rb := core.MustRun(banked, tr)
+		rw := core.MustRun(wide, tr)
+		rv := core.MustRun(shrink(core.DesignVCOpt()), tr)
 		b.ReportMetric(float64(rb.Cycles), "cycles-banked4")
 		b.ReportMetric(float64(rw.Cycles), "cycles-wide4")
 		b.ReportMetric(float64(rv.Cycles), "cycles-vc")
@@ -101,10 +101,10 @@ func BenchmarkAblationBankedTLB(b *testing.B) {
 func BenchmarkAblationLargePages(b *testing.B) {
 	tr := ablationTrace(b)
 	for i := 0; i < b.N; i++ {
-		small := core.Run(shrink(core.DesignBaseline512()), tr)
+		small := core.MustRun(shrink(core.DesignBaseline512()), tr)
 		lcfg := shrink(core.DesignBaseline512())
 		lcfg.LargePages = true
-		large := core.Run(lcfg, tr)
+		large := core.MustRun(lcfg, tr)
 		b.ReportMetric(small.PerCUTLBMissRatio(), "missratio-4k")
 		b.ReportMetric(large.PerCUTLBMissRatio(), "missratio-2m")
 		b.ReportMetric(float64(small.Cycles)/float64(large.Cycles), "2m-speedup")
@@ -125,7 +125,7 @@ func BenchmarkAblationDSR(b *testing.B) {
 		return tb.Build()
 	}
 	run := func(cfg core.Config) core.Results {
-		sys := core.New(shrink(cfg))
+		sys := core.MustNew(shrink(cfg))
 		sys.Space().EnsureMapped(0x100000)
 		sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
 		return sys.Run(build())

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"vcache/internal/experiments"
+	"vcache/internal/obs"
 	"vcache/internal/prof"
 	"vcache/internal/workloads"
 )
@@ -46,6 +48,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results are identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
+	metricsOut := flag.String("metrics", "", "dump every run's end-of-run metrics registry to this JSONL file")
+	eventsOut := flag.String("events", "", "write a Chrome-trace event file covering every run (one process per run)")
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -67,7 +71,17 @@ func main() {
 	}
 	suite.Workers = *parallel
 	if !*quiet {
-		suite.Progress = os.Stderr
+		suite.Progress = experiments.ProgressWriter(os.Stderr)
+	}
+	suite.CaptureMetrics = *metricsOut != ""
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		eventsFile, err = os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		suite.EventTrace = obs.NewTraceWriter(eventsFile)
 	}
 
 	ids := []string(figs)
@@ -121,4 +135,59 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", suite.RunCount(), *csvOut)
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(suite, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if suite.EventTrace != nil {
+		if err := suite.EventTrace.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", *eventsOut)
+	}
+}
+
+// writeMetrics dumps each run's end-of-run registry snapshot as one JSONL
+// record labeled with the run's workload and design, in sorted key order
+// so the output is deterministic.
+func writeMetrics(suite *experiments.Suite, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, suite.RunCount())
+	for k := range suite.Results() {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	n := 0
+	for _, k := range keys {
+		wl, design, _ := strings.Cut(k, "\x00")
+		snap, ok := suite.Metrics(wl, design)
+		if !ok {
+			continue
+		}
+		b = append(b[:0], fmt.Sprintf(`{"workload":%q,"design":%q,"snapshot":`, wl, design)...)
+		b = snap.AppendJSON(b)
+		b = append(b, "}\n"...)
+		if _, err := f.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+		n++
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d metrics snapshots to %s\n", n, path)
+	return nil
 }

@@ -61,7 +61,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown design %q (have: %s)\n", name, keys())
 			os.Exit(1)
 		}
-		r := core.Run(mk(), tr)
+		r := core.MustRun(mk(), tr)
 		results = append(results, r)
 		if r.Kind == core.IdealMMU && base == nil {
 			base = &r

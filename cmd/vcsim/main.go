@@ -14,9 +14,16 @@
 // concurrently on a worker pool (-parallel, default NumCPU) over the one
 // shared immutable trace; each simulation is single-threaded and
 // deterministic, and results print in the order the designs were named.
+//
+// Observability: -metrics FILE streams each run's interval metrics
+// snapshots (per-component counter registry) as labeled JSONL, and
+// -events FILE writes a Chrome-trace event file (one process per design)
+// that loads into chrome://tracing or the Perfetto UI. Both are off by
+// default and cost nothing when unused.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +33,7 @@ import (
 	"sync"
 
 	"vcache/internal/core"
+	"vcache/internal/obs"
 	"vcache/internal/prof"
 	"vcache/internal/report"
 	"vcache/internal/trace"
@@ -76,6 +84,8 @@ func main() {
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
+	metricsOut := flag.String("metrics", "", "stream interval metrics-registry snapshots to this JSONL file (one labeled record per interval per design)")
+	eventsOut := flag.String("events", "", "write cycle-stamped component events to this Chrome-trace file (one process per design)")
 	list := flag.Bool("list", false, "list workloads and designs")
 	flag.Parse()
 
@@ -142,9 +152,29 @@ func main() {
 	fmt.Printf("workload %s: %d mem insts, %d coalesced lines, divergence %.2f, %d pages\n",
 		tr.Name, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
 
+	// Observability sinks. Trace processes are allocated up front, in
+	// design order, so pids are deterministic regardless of scheduling.
+	var tw *obs.TraceWriter
+	var eventsFile *os.File
+	procs := make([]*obs.Process, len(cfgs))
+	if *eventsOut != "" {
+		var err error
+		eventsFile, err = os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tw = obs.NewTraceWriter(eventsFile)
+		for i, cfg := range cfgs {
+			procs[i] = tw.Process(tr.Name + "/" + cfg.Name)
+		}
+	}
+	snaps := make([][]obs.Snapshot, len(cfgs))
+
 	// Fan the designs out over a worker pool; the trace is immutable and
-	// each core.Run builds its own System, so runs are independent.
+	// each run builds its own System, so runs are independent.
 	results := make([]core.Results, len(cfgs))
+	errs := make([]error, len(cfgs))
 	workers := *parallel
 	if workers < 1 {
 		workers = 1
@@ -160,10 +190,48 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = core.Run(cfg, tr)
+			sys, err := core.New(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if procs[i] != nil {
+				sys.AttachTrace(procs[i])
+			}
+			var opts []core.Option
+			if *metricsOut != "" {
+				opts = append(opts, core.WithMetricsSnapshot(func(s obs.Snapshot) {
+					snaps[i] = append(snaps[i], s)
+				}))
+			}
+			results[i], errs[i] = sys.RunContext(context.Background(), tr, opts...)
 		}(i, cfg)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, tr.Name, cfgs, snaps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", *eventsOut)
+	}
 
 	for i, r := range results {
 		if *asJSON {
@@ -180,6 +248,34 @@ func main() {
 		}
 		printResults(r, *probe)
 	}
+}
+
+// writeMetrics dumps every design's interval snapshot series, one labeled
+// JSONL record per snapshot, in design order.
+func writeMetrics(path, workload string, cfgs []core.Config, snaps [][]obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var b []byte
+	n := 0
+	for i, cfg := range cfgs {
+		for _, snap := range snaps[i] {
+			b = append(b[:0], fmt.Sprintf(`{"workload":%q,"design":%q,"snapshot":`, workload, cfg.Name)...)
+			b = snap.AppendJSON(b)
+			b = append(b, "}\n"...)
+			if _, err := f.Write(b); err != nil {
+				f.Close()
+				return err
+			}
+			n++
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d metrics snapshots to %s\n", n, path)
+	return nil
 }
 
 func printResults(r core.Results, probe bool) {

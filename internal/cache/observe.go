@@ -1,0 +1,18 @@
+package cache
+
+import "vcache/internal/obs"
+
+// Observe registers the cache's counters with an observability scope (e.g.
+// "l1.cu3" or "l2"). The registry holds pointers into the live Stats
+// struct, so observation adds no work to the access path.
+func (c *Cache) Observe(sc obs.Scope) {
+	sc.Counter("read_hits", &c.stats.ReadHits)
+	sc.Counter("read_misses", &c.stats.ReadMisses)
+	sc.Counter("write_hits", &c.stats.WriteHits)
+	sc.Counter("write_misses", &c.stats.WriteMisses)
+	sc.Counter("fills", &c.stats.Fills)
+	sc.Counter("evictions", &c.stats.Evictions)
+	sc.Counter("writebacks", &c.stats.Writebacks)
+	sc.Counter("invalidated", &c.stats.Invalidated)
+	sc.Gauge("hit_ratio", func() float64 { return c.stats.HitRatio() })
+}

@@ -11,7 +11,7 @@ import (
 func warmedSystem(t *testing.T, kind core.Config) (*core.System, memory.VAddr) {
 	t.Helper()
 	kind.GPU.NumCUs = 4
-	sys := core.New(kind)
+	sys := core.MustNew(kind)
 	const base = memory.VAddr(0x40000)
 	b := trace.NewBuilder("warm", 1, 4, 2)
 	addrs := make([]memory.VAddr, 16)

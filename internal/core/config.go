@@ -274,27 +274,40 @@ func (c Config) WithIOMMUBandwidth(perCycle int) Config {
 	return c
 }
 
-// Validate checks internal consistency.
+// ConfigError reports an invalid Config: which field (or field group) is
+// wrong and why. New and Run return it (wrapped in nothing) so callers can
+// distinguish configuration mistakes from runtime failures with errors.As.
+type ConfigError struct {
+	Field  string // offending field, e.g. "GPU.NumCUs"
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "core: invalid config: " + e.Field + ": " + e.Reason
+}
+
+// Validate checks internal consistency. The returned error, when non-nil,
+// is a *ConfigError.
 func (c Config) Validate() error {
 	if c.GPU.NumCUs <= 0 {
-		return fmt.Errorf("core: NumCUs = %d", c.GPU.NumCUs)
+		return &ConfigError{Field: "GPU.NumCUs", Reason: fmt.Sprintf("must be positive, got %d", c.GPU.NumCUs)}
 	}
 	if c.L1.LineBytes != c.L2.LineBytes {
-		return fmt.Errorf("core: L1 line %dB != L2 line %dB", c.L1.LineBytes, c.L2.LineBytes)
+		return &ConfigError{Field: "L1.LineBytes", Reason: fmt.Sprintf("L1 line %dB != L2 line %dB", c.L1.LineBytes, c.L2.LineBytes)}
 	}
 	switch c.Kind {
 	case PhysicalBaseline, L1OnlyVirtual:
 		// per-CU TLBs required (possibly infinite).
 	case VirtualHierarchy:
 		if c.FBT.Entries <= 0 {
-			return fmt.Errorf("core: virtual hierarchy needs an FBT")
+			return &ConfigError{Field: "FBT.Entries", Reason: "virtual hierarchy needs an FBT"}
 		}
 	case IdealMMU:
 	default:
-		return fmt.Errorf("core: unknown MMU kind %d", int(c.Kind))
+		return &ConfigError{Field: "Kind", Reason: fmt.Sprintf("unknown MMU kind %d", int(c.Kind))}
 	}
 	if c.Walkers() <= 0 {
-		return fmt.Errorf("core: walker threads = %d", c.Walkers())
+		return &ConfigError{Field: "IOMMU.Walker.Threads", Reason: fmt.Sprintf("walker threads = %d", c.Walkers())}
 	}
 	return nil
 }

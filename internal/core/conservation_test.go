@@ -47,7 +47,7 @@ func TestRequestConservationProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		tr := randomTrace(seed, 120)
 		for _, mk := range makers {
-			r := Run(smallCfg(mk()), tr)
+			r := MustRun(smallCfg(mk()), tr)
 			// 1. L1 sees every coalesced request exactly once.
 			if r.L1.Accesses() != r.GPU.CoalescedReqs {
 				t.Logf("%s: L1 accesses %d != coalesced %d", r.Design, r.L1.Accesses(), r.GPU.CoalescedReqs)
@@ -87,13 +87,13 @@ func TestRequestConservationProperty(t *testing.T) {
 func TestTranslationConservation(t *testing.T) {
 	tr := randomTrace(99, 300)
 
-	base := Run(smallCfg(DesignBaseline512()), tr)
+	base := MustRun(smallCfg(DesignBaseline512()), tr)
 	if base.PerCUTLB.Misses != base.IOMMU.Requests+base.TLBMerges {
 		t.Fatalf("baseline: TLB misses %d != IOMMU %d + merges %d",
 			base.PerCUTLB.Misses, base.IOMMU.Requests, base.TLBMerges)
 	}
 
-	vc := Run(smallCfg(DesignVCOpt()), tr)
+	vc := MustRun(smallCfg(DesignVCOpt()), tr)
 	if vc.L2.Misses() != vc.IOMMU.Requests+vc.LineMerges {
 		t.Fatalf("VC: L2 misses %d != IOMMU %d + line merges %d",
 			vc.L2.Misses(), vc.IOMMU.Requests, vc.LineMerges)
@@ -106,9 +106,9 @@ func TestTranslationConservation(t *testing.T) {
 func TestIdealIsLowerBoundProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		tr := randomTrace(seed, 100)
-		ideal := Run(smallCfg(DesignIdeal()), tr)
+		ideal := MustRun(smallCfg(DesignIdeal()), tr)
 		for _, mk := range []func() Config{DesignBaseline512, DesignVCOpt, designL1OnlyVC32} {
-			if Run(smallCfg(mk()), tr).Cycles < ideal.Cycles {
+			if MustRun(smallCfg(mk()), tr).Cycles < ideal.Cycles {
 				return false
 			}
 		}

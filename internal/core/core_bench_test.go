@@ -18,7 +18,7 @@ func benchRun(b *testing.B, cfg Config) {
 	var reqs uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := Run(smallCfg(cfg), tr)
+		r := MustRun(smallCfg(cfg), tr)
 		reqs = r.GPU.CoalescedReqs
 	}
 	b.ReportMetric(float64(reqs), "coalesced-reqs")

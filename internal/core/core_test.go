@@ -74,7 +74,7 @@ func TestRunAllDesignsComplete(t *testing.T) {
 	for _, cfg := range designs {
 		cfg := smallCfg(cfg)
 		cfg.Faults = PanicOnFault
-		res := Run(cfg, tr)
+		res := MustRun(cfg, tr)
 		if res.Cycles == 0 {
 			t.Fatalf("%s: zero cycles", cfg.Name)
 		}
@@ -89,8 +89,8 @@ func TestRunAllDesignsComplete(t *testing.T) {
 
 func TestIdealFasterThanBaseline(t *testing.T) {
 	tr := divergentTrace("div", 400, 300)
-	ideal := Run(smallCfg(DesignIdeal()), tr)
-	base := Run(smallCfg(DesignBaseline512()), tr)
+	ideal := MustRun(smallCfg(DesignIdeal()), tr)
+	base := MustRun(smallCfg(DesignBaseline512()), tr)
 	if base.Cycles <= ideal.Cycles {
 		t.Fatalf("baseline (%d) not slower than ideal (%d)", base.Cycles, ideal.Cycles)
 	}
@@ -100,8 +100,8 @@ func TestVirtualCacheFiltersIOMMUAccesses(t *testing.T) {
 	// Re-touching the same pages repeatedly: per-CU TLBs thrash (many
 	// pages) but the caches hold the data, so the VC filters translations.
 	tr := divergentTrace("div", 400, 300)
-	base := Run(smallCfg(DesignBaseline512()), tr)
-	vc := Run(smallCfg(DesignVCOpt()), tr)
+	base := MustRun(smallCfg(DesignBaseline512()), tr)
+	vc := MustRun(smallCfg(DesignVCOpt()), tr)
 	if vc.IOMMU.Requests >= base.IOMMU.Requests {
 		t.Fatalf("VC IOMMU requests (%d) not below baseline (%d)",
 			vc.IOMMU.Requests, base.IOMMU.Requests)
@@ -115,7 +115,7 @@ func TestResidencyProbeBreakdown(t *testing.T) {
 	cfg := smallCfg(DesignBaseline512())
 	cfg.ProbeResidency = true
 	tr := divergentTrace("div", 300, 200)
-	res := Run(cfg, tr)
+	res := MustRun(cfg, tr)
 	p := res.Probe
 	if p.TLBMisses == 0 {
 		t.Fatal("no TLB misses recorded")
@@ -133,7 +133,7 @@ func TestPerCUTLBSweepReducesMisses(t *testing.T) {
 	var prev float64 = 1.1
 	for _, entries := range []int{32, 128, 0} {
 		cfg := smallCfg(DesignBaseline512()).WithPerCUTLB(entries)
-		res := Run(cfg, tr)
+		res := MustRun(cfg, tr)
 		mr := res.PerCUTLBMissRatio()
 		if mr > prev+1e-9 {
 			t.Fatalf("TLB %d: miss ratio %.3f worse than smaller TLB %.3f", entries, mr, prev)
@@ -165,7 +165,7 @@ func TestIOMMUBandwidthSweep(t *testing.T) {
 	var cycles []uint64
 	for _, bw := range []int{1, 2, 4} {
 		cfg := DesignBaseline16K().WithIOMMUBandwidth(bw)
-		cycles = append(cycles, Run(cfg, tr).Cycles)
+		cycles = append(cycles, MustRun(cfg, tr).Cycles)
 	}
 	// Higher bandwidth must help substantially end to end; allow small
 	// non-monotonic wiggle between adjacent points (second-order queueing
@@ -182,7 +182,7 @@ func TestIOMMUBandwidthSweep(t *testing.T) {
 
 func TestVCReadOnlySynonymReplay(t *testing.T) {
 	cfg := smallCfg(DesignVCOpt())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	// Alias page: 0x900000 maps to the same frame as 0x100000 (read-only).
 	sys.Space().EnsureMapped(0x100000)
 	sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
@@ -211,7 +211,7 @@ func TestVCReadOnlySynonymReplay(t *testing.T) {
 
 func TestVCReadWriteSynonymFaults(t *testing.T) {
 	cfg := smallCfg(DesignVCOpt())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Space().EnsureMapped(0x100000)
 	sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead|memory.PermWrite)
 
@@ -227,7 +227,7 @@ func TestVCReadWriteSynonymFaults(t *testing.T) {
 
 func TestVCShootdownInvalidatesData(t *testing.T) {
 	cfg := smallCfg(DesignVC())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("warm", 1, 4, 2)
 	addrs := make([]memory.VAddr, 8)
 	for i := range addrs {
@@ -268,7 +268,7 @@ func memoryPPNOf(t *testing.T, sys *System, va memory.VAddr) memory.PPN {
 
 func TestVCCoherenceProbeFiltering(t *testing.T) {
 	cfg := smallCfg(DesignVC())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("warm", 1, 4, 2)
 	b.Warp().Load(0x40000)
 	sys.Run(b.Build())
@@ -291,8 +291,8 @@ func TestVCCoherenceProbeFiltering(t *testing.T) {
 
 func TestFBTAsSecondLevelTLBReducesWalks(t *testing.T) {
 	tr := divergentTrace("div", 400, 600)
-	noOpt := Run(smallCfg(DesignVC()), tr)
-	opt := Run(smallCfg(DesignVCOpt()), tr)
+	noOpt := MustRun(smallCfg(DesignVC()), tr)
+	opt := MustRun(smallCfg(DesignVCOpt()), tr)
 	if opt.FBT.SecondaryTLBHits == 0 {
 		t.Fatal("FBT never used as second-level TLB")
 	}
@@ -303,9 +303,9 @@ func TestFBTAsSecondLevelTLBReducesWalks(t *testing.T) {
 
 func TestL1OnlyVCBetweenBaselineAndFullVC(t *testing.T) {
 	tr := divergentTrace("div", 500, 300)
-	base := Run(smallCfg(DesignBaseline16K()), tr)
-	l1only := Run(smallCfg(DesignL1OnlyVC(32)), tr)
-	full := Run(smallCfg(DesignVCOpt()), tr)
+	base := MustRun(smallCfg(DesignBaseline16K()), tr)
+	l1only := MustRun(smallCfg(DesignL1OnlyVC(32)), tr)
+	full := MustRun(smallCfg(DesignVCOpt()), tr)
 	if l1only.IOMMU.Requests > base.IOMMU.Requests {
 		t.Fatalf("L1-only VC increased IOMMU traffic: %d vs %d", l1only.IOMMU.Requests, base.IOMMU.Requests)
 	}
@@ -320,7 +320,7 @@ func TestLifetimeTracking(t *testing.T) {
 	cfg.TrackLifetimes = true
 	cfg.PerCUTLB = tlb.Config{Entries: 8} // force evictions
 	tr := divergentTrace("div", 300, 200)
-	res := Run(cfg, tr)
+	res := MustRun(cfg, tr)
 	if res.Lifetimes == nil {
 		t.Fatal("lifetimes not collected")
 	}
@@ -336,7 +336,7 @@ func TestWriteThroughInvariant(t *testing.T) {
 	// After any run, no L1 line may be dirty (write-through no allocate)
 	// and VC L2 contents must be consistent with FBT bit vectors.
 	cfg := smallCfg(DesignVC())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("rw", 1, 4, 2)
 	for i := 0; i < 64; i++ {
 		a := memory.VAddr(i * 4 * memory.LineSize)
@@ -366,7 +366,7 @@ func TestWriteThroughInvariant(t *testing.T) {
 
 func TestChangePermissionShootsDown(t *testing.T) {
 	cfg := smallCfg(DesignVC())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("w", 1, 4, 2)
 	b.Warp().Load(0x40000)
 	sys.Run(b.Build())
@@ -384,7 +384,7 @@ func TestChangePermissionShootsDown(t *testing.T) {
 
 func TestUnmapPage(t *testing.T) {
 	cfg := smallCfg(DesignBaseline512())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("w", 1, 4, 2)
 	b.Warp().Load(0x40000)
 	sys.Run(b.Build())
@@ -401,7 +401,7 @@ func TestUnmapPage(t *testing.T) {
 
 func TestFlushGPU(t *testing.T) {
 	cfg := smallCfg(DesignVCOpt())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := trace.NewBuilder("w", 1, 4, 2)
 	for i := 0; i < 16; i++ {
 		b.Warp().Load(memory.VAddr(i * memory.PageSize))
@@ -442,7 +442,7 @@ func asidTrace(asid memory.ASID, va memory.VAddr) *trace.Trace {
 
 func TestContextSwitchFlushesWithoutASIDTags(t *testing.T) {
 	cfg := smallCfg(DesignVC())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Run(asidTrace(1, 0x40000))
 	if !sys.L2().Probe(0x40000) {
 		t.Fatal("process 1 data not cached")
@@ -469,7 +469,7 @@ func TestContextSwitchFlushesWithoutASIDTags(t *testing.T) {
 func TestASIDTagsPreventHomonymsWithoutFlush(t *testing.T) {
 	cfg := smallCfg(DesignVC())
 	cfg.ASIDTags = true
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Run(asidTrace(1, 0x40000))
 	res2 := sys.Run(asidTrace(2, 0x40000))
 	// Process 2's identical virtual address must MISS (homonym
@@ -493,7 +493,7 @@ func TestASIDTagsPreventHomonymsWithoutFlush(t *testing.T) {
 func TestContextSwitchPhysicalCachesKeepData(t *testing.T) {
 	// Physical caches don't care about address spaces: no flush needed.
 	cfg := smallCfg(DesignBaseline512())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Run(asidTrace(1, 0x40000))
 	before := sys.L2().Resident()
 	if before == 0 {
@@ -507,8 +507,8 @@ func TestContextSwitchPhysicalCachesKeepData(t *testing.T) {
 
 func TestTwoLevelPerCUTLB(t *testing.T) {
 	tr := divergentTrace("div", 400, 120)
-	one := Run(smallCfg(DesignBaseline16K()), tr)
-	two := Run(smallCfg(DesignBaselineTwoLevelTLB()), tr)
+	one := MustRun(smallCfg(DesignBaseline16K()), tr)
+	two := MustRun(smallCfg(DesignBaselineTwoLevelTLB()), tr)
 	// The private L2 TLB (256 entries x 4 CUs) covers the 120-page working
 	// set, so far fewer requests reach the IOMMU.
 	if two.IOMMU.Requests >= one.IOMMU.Requests/2 {
@@ -522,7 +522,7 @@ func TestTwoLevelPerCUTLB(t *testing.T) {
 
 func TestTwoLevelTLBShootdown(t *testing.T) {
 	cfg := smallCfg(DesignBaselineTwoLevelTLB())
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Run(newWarmTrace(0x40000))
 	sys.Shootdown(0x40000)
 	for cu := range sys.cuTLB2s {
@@ -557,7 +557,7 @@ func TestInvariantsAcrossDesigns(t *testing.T) {
 	cfgs = append(cfgs, lp)
 
 	for _, cfg := range cfgs {
-		sys := New(cfg)
+		sys := MustNew(cfg)
 		sys.Run(tr)
 		if err := sys.CheckInvariants(); err != nil {
 			t.Fatalf("%s (fbt=%d filter=%v lp=%v): %v", cfg.Name, cfg.FBT.Entries, cfg.InvFilter, cfg.LargePages, err)
@@ -570,7 +570,7 @@ func TestInvariantsAcrossDesigns(t *testing.T) {
 func TestInvariantsAfterDisruptions(t *testing.T) {
 	cfg := smallCfg(DesignVCOpt())
 	cfg.FBT.Entries = 512
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	tr := divergentTrace("div", 200, 120)
 	sys.Run(tr)
 	for page := 0; page < 120; page += 7 {
@@ -597,8 +597,8 @@ func TestInvariantsAfterDisruptions(t *testing.T) {
 func TestRunDeterminism(t *testing.T) {
 	tr := divergentTrace("div", 250, 150)
 	for _, mk := range []func() Config{DesignBaseline512, DesignVCOpt, designL1OnlyVC32} {
-		a := Run(smallCfg(mk()), tr)
-		b := Run(smallCfg(mk()), tr)
+		a := MustRun(smallCfg(mk()), tr)
+		b := MustRun(smallCfg(mk()), tr)
 		if a.Cycles != b.Cycles {
 			t.Fatalf("%s: cycles differ: %d vs %d", a.Design, a.Cycles, b.Cycles)
 		}

@@ -17,7 +17,7 @@ func dsrSystem(t *testing.T, dsr bool) *System {
 	if dsr {
 		cfg = smallCfg(DesignVCOptDSR())
 	}
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Space().EnsureMapped(0x100000)
 	sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
 	return sys

@@ -24,7 +24,7 @@ func readOnlyStoreTrace() *trace.Trace {
 func TestPermissionFaultsEveryDesign(t *testing.T) {
 	for _, mk := range []func() Config{DesignIdeal, DesignBaseline512, DesignVCOpt, designL1OnlyVC32} {
 		cfg := smallCfg(mk())
-		sys := New(cfg)
+		sys := MustNew(cfg)
 		sys.Space().SetDefaultPerm(memory.PermRead)
 		res := sys.Run(readOnlyStoreTrace())
 		if res.Faults.PermFaults == 0 {
@@ -40,7 +40,7 @@ func TestReadOnlyLoadsDoNotFault(t *testing.T) {
 	for _, mk := range []func() Config{DesignIdeal, DesignBaseline512, DesignVCOpt, designL1OnlyVC32} {
 		cfg := smallCfg(mk())
 		cfg.Faults = PanicOnFault
-		sys := New(cfg)
+		sys := MustNew(cfg)
 		sys.Space().SetDefaultPerm(memory.PermRead)
 		b := trace.NewBuilder("r", 1, 4, 2)
 		b.Warp().Load(0x40000).Load(0x40000)
@@ -51,7 +51,7 @@ func TestReadOnlyLoadsDoNotFault(t *testing.T) {
 func TestPanicOnFaultPolicy(t *testing.T) {
 	cfg := smallCfg(DesignBaseline512())
 	cfg.Faults = PanicOnFault
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	sys.Space().SetDefaultPerm(memory.PermRead)
 	defer func() {
 		if recover() == nil {
@@ -89,14 +89,14 @@ func TestResultHelpers(t *testing.T) {
 }
 
 func TestAccessorsExposed(t *testing.T) {
-	sys := New(smallCfg(DesignBaseline512()))
+	sys := MustNew(smallCfg(DesignBaseline512()))
 	if sys.Engine() == nil || sys.IOMMU() == nil || sys.L2() == nil || sys.PerCUTLB(0) == nil || sys.L1(0) == nil {
 		t.Fatal("accessor returned nil")
 	}
 	if sys.FBT() != nil {
 		t.Fatal("baseline system has an FBT")
 	}
-	if core := New(smallCfg(DesignVC())); core.FBT() == nil {
+	if core := MustNew(smallCfg(DesignVC())); core.FBT() == nil {
 		t.Fatal("VC system missing FBT")
 	}
 	if DesignBaselineLargePerCU().PerCUTLB.Entries != 128 {

@@ -27,7 +27,7 @@ func oneLoad(va memory.VAddr) *trace.Trace {
 //
 //	L1 lookup (1) + CU->L2 (10) + bank (20) + DRAM (160) + L2->CU (10) = 201
 func TestGoldenIdealColdLoad(t *testing.T) {
-	r := Run(goldenCfg(DesignIdeal()), oneLoad(0x4000))
+	r := MustRun(goldenCfg(DesignIdeal()), oneLoad(0x4000))
 	if r.Cycles != 201 {
 		t.Fatalf("cold ideal load = %d cycles, want 201", r.Cycles)
 	}
@@ -37,7 +37,7 @@ func TestGoldenIdealColdLoad(t *testing.T) {
 func TestGoldenIdealL1Hit(t *testing.T) {
 	b := trace.NewBuilder("golden", 1, 1, 1)
 	b.Warp().Load(0x4000).Load(0x4000)
-	r := Run(goldenCfg(DesignIdeal()), b.Build())
+	r := MustRun(goldenCfg(DesignIdeal()), b.Build())
 	if r.Cycles != 202 {
 		t.Fatalf("cold+hit = %d cycles, want 202 (201 + 1 L1 hit)", r.Cycles)
 	}
@@ -47,7 +47,7 @@ func TestGoldenIdealL1Hit(t *testing.T) {
 // (0 queue) + shared TLB lookup (4) + walk (4 uncached PT reads at DRAM
 // latency 160 = 640) + IOMMU->CU (50)] + the ideal path (201) = 946.
 func TestGoldenBaselineColdLoad(t *testing.T) {
-	r := Run(goldenCfg(DesignBaseline512()), oneLoad(0x4000))
+	r := MustRun(goldenCfg(DesignBaseline512()), oneLoad(0x4000))
 	if r.Cycles != 946 {
 		t.Fatalf("cold baseline load = %d cycles, want 946", r.Cycles)
 	}
@@ -61,7 +61,7 @@ func TestGoldenBaselineColdLoad(t *testing.T) {
 func TestGoldenBaselineWarmTLB(t *testing.T) {
 	b := trace.NewBuilder("golden", 1, 1, 1)
 	b.Warp().Load(0x4000).Load(0x4080) // same page, different line
-	r := Run(goldenCfg(DesignBaseline512()), b.Build())
+	r := MustRun(goldenCfg(DesignBaseline512()), b.Build())
 	// 946 (cold) + [1 TLB + 1 L1 + 10 + 20 + 160 + 10] (second line, TLB
 	// warm, L2 miss) = 946 + 202 = 1148.
 	if r.Cycles != 1148 {
@@ -73,7 +73,7 @@ func TestGoldenBaselineWarmTLB(t *testing.T) {
 // L2->IOMMU (10) + port+lookup (4) + FBT miss (5) + walk (640) + FBT
 // check (5) + DRAM (160) + L2->CU (10) + 0 (fill+deliver same cycle) = 865.
 func TestGoldenVCColdLoad(t *testing.T) {
-	r := Run(goldenCfg(DesignVCOpt()), oneLoad(0x4000))
+	r := MustRun(goldenCfg(DesignVCOpt()), oneLoad(0x4000))
 	if r.Cycles != 865 {
 		t.Fatalf("cold VC load = %d cycles, want 865", r.Cycles)
 	}
@@ -87,7 +87,7 @@ func TestGoldenVCColdLoad(t *testing.T) {
 func TestGoldenVCL1Hit(t *testing.T) {
 	b := trace.NewBuilder("golden", 1, 1, 1)
 	b.Warp().Load(0x4000).Load(0x4000)
-	r := Run(goldenCfg(DesignVCOpt()), b.Build())
+	r := MustRun(goldenCfg(DesignVCOpt()), b.Build())
 	if r.Cycles != 866 {
 		t.Fatalf("cold+hit VC = %d cycles, want 866", r.Cycles)
 	}
@@ -106,7 +106,7 @@ func TestGoldenVCL2HitNoTranslation(t *testing.T) {
 	w1 := b.Warp() // CU1
 	w0.Load(0x4000)
 	w1.Compute(2000).Load(0x4000) // arrives after CU0's fill completes
-	r := Run(cfg, b.Build())
+	r := MustRun(cfg, b.Build())
 	if r.IOMMU.Requests != 1 {
 		t.Fatalf("IOMMU requests = %d, want 1 (L2 hit filters the second)", r.IOMMU.Requests)
 	}
@@ -122,7 +122,7 @@ func TestGoldenScratchOnly(t *testing.T) {
 	b := trace.NewBuilder("golden", 1, 1, 1)
 	b.Warp().ScratchLoad(0).ScratchStore(0) // default latency 4 each
 	for _, cfg := range []Config{goldenCfg(DesignIdeal()), goldenCfg(DesignBaseline512()), goldenCfg(DesignVCOpt())} {
-		r := Run(cfg, b.Build())
+		r := MustRun(cfg, b.Build())
 		if r.Cycles != 8 {
 			t.Fatalf("%s: scratch-only = %d cycles, want 8", cfg.Name, r.Cycles)
 		}

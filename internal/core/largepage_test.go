@@ -17,12 +17,12 @@ func TestLargePagesReducePerCUTLBMisses(t *testing.T) {
 
 	small := smallCfg(DesignBaseline512())
 	small.Faults = PanicOnFault
-	rs := Run(small, tr)
+	rs := MustRun(small, tr)
 
 	large := smallCfg(DesignBaseline512())
 	large.LargePages = true
 	large.Faults = PanicOnFault
-	rl := Run(large, tr)
+	rl := MustRun(large, tr)
 
 	if rl.PerCUTLBMissRatio() >= rs.PerCUTLBMissRatio()/4 {
 		t.Fatalf("large pages did not collapse TLB misses: %.3f vs %.3f",
@@ -41,7 +41,7 @@ func TestLargePagesUnderVirtualHierarchy(t *testing.T) {
 	cfg := smallCfg(DesignVCOpt())
 	cfg.LargePages = true
 	cfg.Faults = PanicOnFault
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	res := sys.Run(tr)
 	if res.Faults != (FaultCounts{}) {
 		t.Fatalf("faults under large pages: %+v", res.Faults)
@@ -74,7 +74,7 @@ func TestLargePagesUnderVirtualHierarchy(t *testing.T) {
 func TestLargePageShootdownInvalidatesSubpage(t *testing.T) {
 	cfg := smallCfg(DesignVC())
 	cfg.LargePages = true
-	sys := New(cfg)
+	sys := MustNew(cfg)
 	b := newWarmTrace(0x40000)
 	sys.Run(b)
 	if !sys.L2().Probe(0x40000) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vcache/internal/cache"
@@ -144,7 +145,31 @@ func (s *System) results(tr *trace.Trace) Results {
 }
 
 // Run is the package-level convenience: assemble a system for cfg and run
-// tr to completion.
-func Run(cfg Config, tr *trace.Trace) Results {
-	return New(cfg).Run(tr)
+// tr to completion. An invalid configuration returns a *ConfigError.
+func Run(cfg Config, tr *trace.Trace) (Results, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.RunContext(context.Background(), tr)
+}
+
+// MustRun is Run for known-good configurations; it panics on error (the
+// pre-redesign Run behaviour, kept for tests and the vcache facade).
+func MustRun(cfg Config, tr *trace.Trace) Results {
+	res, err := Run(cfg, tr)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext assembles a system for cfg and runs tr under ctx with the
+// given observability options (see Option).
+func RunContext(ctx context.Context, cfg Config, tr *trace.Trace, opts ...Option) (Results, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.RunContext(ctx, tr, opts...)
 }

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"vcache/internal/cache"
 	"vcache/internal/dram"
 	"vcache/internal/fbt"
@@ -8,12 +12,17 @@ import (
 	"vcache/internal/iommu"
 	"vcache/internal/memory"
 	"vcache/internal/noc"
+	"vcache/internal/obs"
 	"vcache/internal/ptw"
 	"vcache/internal/sim"
 	"vcache/internal/stats"
 	"vcache/internal/tlb"
 	"vcache/internal/trace"
 )
+
+// ErrDeadlock is returned (or wrapped) when the event queue drains before
+// the GPU retires every warp — a modeling bug, not a workload property.
+var ErrDeadlock = errors.New("core: engine drained before GPU completed (deadlock)")
 
 // FaultCounts records exceptional events during a run.
 type FaultCounts struct {
@@ -93,12 +102,15 @@ type System struct {
 	l2PagePeak     int    // max distinct pages seen in L2 (sampled on fills)
 	fillsSincePage int
 	finishCycle    uint64 // cycle the last warp retired
+
+	reg *obs.Registry
 }
 
-// New assembles a system from cfg.
-func New(cfg Config) *System {
+// New assembles a system from cfg. An invalid configuration returns a
+// *ConfigError instead of a system.
+func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	eng := sim.New()
 	s := &System{cfg: cfg, eng: eng}
@@ -174,7 +186,91 @@ func New(cfg Config) *System {
 	}
 
 	s.gpu = gpu.New(eng, cfg.GPU, s)
+	s.buildRegistry()
+	return s, nil
+}
+
+// MustNew is New for callers with a known-good configuration; it panics on
+// a validation error (the pre-redesign New behaviour).
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// buildRegistry wires every component's counters into the system's metrics
+// registry under the hierarchical naming scheme ("l1.cu3.read_hits",
+// "iommu.tlb.misses", "ptw.walks.inflight"). Registration stores pointers
+// into the live stats structs, so the registry costs nothing until a
+// snapshot is taken.
+func (s *System) buildRegistry() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	r.Gauge("sim.cycles", func() float64 { return float64(s.eng.Now()) })
+	r.Gauge("sim.fired", func() float64 { return float64(s.eng.Fired()) })
+	r.Gauge("sim.pending", func() float64 { return float64(s.eng.Pending()) })
+
+	s.gpu.Observe(r.Scope("gpu"))
+	s.mem.Observe(r.Scope("dram"))
+	s.net.Observe(r.Scope("noc"))
+	s.walker.Observe(r.Scope("ptw"))
+	s.io.Observe(r.Scope("iommu"))
+	s.l2.Observe(r.Scope("l2"))
+	r.IntGauge("l2.page_peak", &s.l2PagePeak)
+	for i := range s.l1s {
+		s.l1s[i].Observe(r.Scope(fmt.Sprintf("l1.cu%d", i)))
+	}
+	for i := range s.cuTLBs {
+		s.cuTLBs[i].Observe(r.Scope(fmt.Sprintf("tlb.cu%d", i)))
+	}
+	for i := range s.cuTLB2s {
+		s.cuTLB2s[i].Observe(r.Scope(fmt.Sprintf("tlb2.cu%d", i)))
+	}
+	if s.fbt != nil {
+		s.fbt.Observe(r.Scope("fbt"))
+	}
+
+	c := r.Scope("core")
+	c.Counter("synonym_replays", &s.synonymReplays)
+	c.Counter("remap_hits", &s.remapHits)
+	c.Counter("l1_full_flushes", &s.l1FullFlushes)
+	c.Counter("fbt_inval_lines", &s.fbtInvalLines)
+	c.Counter("tlb_merges", &s.tlbMerges)
+	c.Counter("line_merges", &s.lineMerges)
+	c.Counter("faults.page", &s.faults.PageFaults)
+	c.Counter("faults.perm", &s.faults.PermFaults)
+	c.Counter("faults.rw_synonym", &s.faults.RWSynonym)
+}
+
+// Metrics exposes the system's metrics registry: every component's live
+// counters under hierarchical names, snapshottable at any cycle.
+func (s *System) Metrics() *obs.Registry { return s.reg }
+
+// AttachTrace points every component event emitter at sink, stamping
+// events with the engine clock. Passing nil detaches them, restoring the
+// free disabled path.
+func (s *System) AttachTrace(sink obs.EventSink) {
+	emitter := func(comp string) *obs.Emitter {
+		if sink == nil {
+			return nil
+		}
+		return obs.NewEmitter(sink, comp, s.eng.Now)
+	}
+	s.io.Trace = emitter("iommu")
+	s.io.TLB().Trace = emitter("iommu.tlb")
+	s.walker.Trace = emitter("ptw")
+	if s.fbt != nil {
+		s.fbt.Trace = emitter("fbt")
+	}
+	for i := range s.cuTLBs {
+		s.cuTLBs[i].Trace = emitter(fmt.Sprintf("tlb.cu%d", i))
+	}
+	for i := range s.cuTLB2s {
+		s.cuTLB2s[i].Trace = emitter(fmt.Sprintf("tlb2.cu%d", i))
+	}
 }
 
 // Engine exposes the event engine (examples and tests drive it directly
@@ -283,6 +379,8 @@ func (s *System) Prepare(tr *trace.Trace) {
 }
 
 // Run prepares and executes the trace to completion, returning results.
+// It panics on a modeling deadlock; RunContext is the error-returning,
+// cancellable, observable form.
 func (s *System) Run(tr *trace.Trace) Results {
 	s.contextSwitch(tr.ASID)
 	s.Prepare(tr)
@@ -293,10 +391,95 @@ func (s *System) Run(tr *trace.Trace) Results {
 	})
 	s.eng.Run() // drains trailing store/writeback events past finishCycle
 	if !completed {
-		panic("core: engine drained before GPU completed (deadlock)")
+		panic(ErrDeadlock)
 	}
 	s.io.ExtendSampling()
 	return s.results(tr)
+}
+
+// RunContext prepares and executes the trace to completion, honouring ctx
+// and the given options. Cancellation is checked between event chunks
+// (~65k events), so a cancelled run stops mid-simulation and returns
+// ctx.Err(). With no options the simulation is cycle-for-cycle identical
+// to Run: events execute one Step at a time in the same order, and the
+// clock never advances past the last real event.
+func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option) (Results, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.events != nil {
+		s.AttachTrace(o.events)
+	}
+
+	s.contextSwitch(tr.ASID)
+	s.Prepare(tr)
+	completed := false
+	s.gpu.Launch(tr, func() {
+		completed = true
+		s.finishCycle = s.eng.Now()
+	})
+	if o.wantsMetrics() {
+		s.scheduleSnapshots(&o)
+	}
+
+	const chunk = 1 << 16
+	for {
+		if err := ctx.Err(); err != nil {
+			return Results{}, err
+		}
+		n := 0
+		for n < chunk && s.eng.Step() {
+			n++
+		}
+		if o.progress != nil && n > 0 {
+			o.progress(Progress{Cycle: s.eng.Now(), Events: s.eng.Fired()})
+		}
+		if n < chunk {
+			break // queue drained
+		}
+	}
+	if !completed {
+		return Results{}, ErrDeadlock
+	}
+	s.io.ExtendSampling()
+	res := s.results(tr)
+	if o.wantsMetrics() {
+		s.emitSnapshot(&o) // final totals at the end-of-run cycle
+	}
+	return res, o.sinkErr
+}
+
+// scheduleSnapshots starts the interval-snapshot tick: a self-rescheduling
+// engine event that emits one snapshot per interval and stops once the
+// event queue would otherwise be empty, so it never keeps the run alive.
+func (s *System) scheduleSnapshots(o *options) {
+	interval := o.metricsInterval
+	if interval == 0 {
+		interval = defaultMetricsInterval
+	}
+	var tick func()
+	tick = func() {
+		if s.eng.Pending() == 0 {
+			return // simulation over; RunContext emits the final snapshot
+		}
+		s.emitSnapshot(o)
+		s.eng.Schedule(interval, tick)
+	}
+	s.eng.Schedule(interval, tick)
+}
+
+// emitSnapshot reads the registry once and feeds every attached consumer.
+func (s *System) emitSnapshot(o *options) {
+	snap := s.reg.Snapshot(s.eng.Now())
+	if o.snapshot != nil {
+		o.snapshot(snap)
+	}
+	if o.metricsSink != nil {
+		if err := snap.WriteJSONL(o.metricsSink); err != nil && o.sinkErr == nil {
+			o.sinkErr = err
+		}
+	}
 }
 
 // onL1Evict maintains the invalidation filter counts and lifetime CDF.

@@ -1,0 +1,12 @@
+package dram
+
+import "vcache/internal/obs"
+
+// Observe registers the DRAM traffic counters and bandwidth-queue stats
+// with an observability scope.
+func (d *DRAM) Observe(sc obs.Scope) {
+	sc.Counter("reads", &d.stats.Reads)
+	sc.Counter("writes", &d.stats.Writes)
+	sc.Counter("queue_delay", &d.server.QueueDelay)
+	sc.Counter("max_delay", &d.server.MaxDelay)
+}

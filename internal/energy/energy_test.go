@@ -27,7 +27,7 @@ func runWorkload(t *testing.T, cfg core.Config) core.Results {
 		}
 		b.Warp().Load(addrs...)
 	}
-	return core.Run(cfg, b.Build())
+	return core.MustRun(cfg, b.Build())
 }
 
 func TestVirtualCachingSavesTranslationEnergy(t *testing.T) {

@@ -21,9 +21,32 @@ import (
 	"time"
 
 	"vcache/internal/core"
+	"vcache/internal/obs"
 	"vcache/internal/trace"
 	"vcache/internal/workloads"
 )
+
+// RunEvent describes one completed simulation, delivered to the suite's
+// Progress callback.
+type RunEvent struct {
+	Workload string
+	Design   string
+	Cycles   uint64        // simulated GPU cycles
+	Wall     time.Duration // wall-clock time the simulation took
+}
+
+// ProgressFunc receives one RunEvent per completed simulation. Calls are
+// serialized, so implementations need no locking of their own.
+type ProgressFunc func(RunEvent)
+
+// ProgressWriter adapts an io.Writer to a ProgressFunc, reproducing the
+// suite's historical progress-line format byte for byte.
+func ProgressWriter(w io.Writer) ProgressFunc {
+	return func(ev RunEvent) {
+		fmt.Fprintf(w, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
+			ev.Workload, ev.Design, ev.Cycles, ev.Wall.Seconds())
+	}
+}
 
 // Suite runs experiments over a workload set. All methods are safe for
 // concurrent use: traces and results are memoized behind a singleflight,
@@ -31,13 +54,22 @@ import (
 // caller receives the identical result.
 type Suite struct {
 	Params workloads.Params
-	// Progress, when non-nil, receives one line per completed simulation.
-	// Writes are serialized so lines stay unfragmented under concurrency.
-	Progress io.Writer
+	// Progress, when non-nil, is called once per completed simulation.
+	// Calls are serialized so consumers stay unfragmented under
+	// concurrency. Use ProgressWriter to keep the old io.Writer behaviour.
+	Progress ProgressFunc
 	// Workers bounds the goroutine pool used by Precompute and RunAll
 	// (0 = runtime.NumCPU()). Individual simulations are always
 	// single-threaded; Workers only controls how many run at once.
 	Workers int
+	// CaptureMetrics, when true, retains a final metrics-registry snapshot
+	// for every simulated (workload, design) pair, retrievable via
+	// Metrics. Off by default: snapshots hold the full per-CU counter set.
+	CaptureMetrics bool
+	// EventTrace, when non-nil, receives every simulation's cycle-stamped
+	// component events; each run becomes its own trace process named
+	// "workload/design".
+	EventTrace *obs.TraceWriter
 
 	gens []workloads.Generator
 
@@ -59,6 +91,7 @@ type traceCall struct {
 type runCall struct {
 	done chan struct{}
 	res  core.Results
+	snap obs.Snapshot // end-of-run metrics, when CaptureMetrics is set
 }
 
 // New builds a suite over the named workloads (empty = the full catalog).
@@ -161,11 +194,32 @@ func (s *Suite) Run(wl string, cfg core.Config) core.Results {
 	s.results[key] = c
 	s.mu.Unlock()
 	start := time.Now()
-	c.res = core.Run(cfg, tr)
+	sys := core.MustNew(cfg)
+	if s.EventTrace != nil {
+		sys.AttachTrace(s.EventTrace.Process(wl + "/" + cfg.Name))
+	}
+	c.res = sys.Run(tr)
+	if s.CaptureMetrics {
+		// Snapshot after the run so observation never adds engine events.
+		c.snap = sys.Metrics().Snapshot(sys.Engine().Now())
+	}
 	close(c.done)
-	s.logf("  ran %-14s %-22s %9d cycles  (%.1fs)\n",
-		wl, cfg.Name, c.res.Cycles, time.Since(start).Seconds())
+	s.emit(RunEvent{Workload: wl, Design: cfg.Name, Cycles: c.res.Cycles, Wall: time.Since(start)})
 	return c.res
+}
+
+// Metrics returns the end-of-run metrics snapshot for a simulated
+// (workload, design) pair, waiting for an in-flight run. It reports false
+// when the pair has not been simulated or CaptureMetrics was off.
+func (s *Suite) Metrics(wl, design string) (obs.Snapshot, bool) {
+	s.mu.Lock()
+	c, ok := s.results[runKey(wl, design)]
+	s.mu.Unlock()
+	if !ok {
+		return obs.Snapshot{}, false
+	}
+	<-c.done
+	return c.snap, c.snap.Names != nil
 }
 
 // runKey is the memoization key for one simulation.
@@ -188,14 +242,14 @@ func (s *Suite) Results() map[string]core.Results {
 	return out
 }
 
-// logf serializes Progress writes so concurrent runs never interleave.
-func (s *Suite) logf(format string, args ...any) {
+// emit serializes Progress callbacks so concurrent runs never interleave.
+func (s *Suite) emit(ev RunEvent) {
 	s.progressMu.Lock()
 	defer s.progressMu.Unlock()
 	if s.Progress == nil {
 		return
 	}
-	fmt.Fprintf(s.Progress, format, args...)
+	s.Progress(ev)
 }
 
 // baseline512 returns the Baseline 512 design with residency probing on,

@@ -151,7 +151,7 @@ type DSRData struct {
 // Observation 5).
 func (s *Suite) DSR() (DSRData, string) {
 	run := func(cfg core.Config) core.Results {
-		sys := core.New(cfg)
+		sys := core.MustNew(cfg)
 		sys.Space().EnsureMapped(0x100000)
 		sys.Space().MapSynonym(0x900000, 0x100000, memory.PermRead)
 		return sys.Run(newSynonymHammer(64))

@@ -100,7 +100,7 @@ func TestRunConcurrentHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 	var progress strings.Builder
-	s.Progress = &progress
+	s.Progress = ProgressWriter(&progress)
 
 	wls := []string{"fw_block", "kmeans"}
 	cfgs := []core.Config{

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"vcache/internal/memory"
+	"vcache/internal/obs"
 )
 
 // Config sizes the BT. The paper models 16K entries (reach: 64MB, enough
@@ -118,6 +119,11 @@ type FBT struct {
 	// caches: L2 lines per the bit vector, L1s via the invalidation
 	// filters.
 	OnEvict func(v View)
+
+	// Trace, if set, receives cycle-stamped "probe.forwarded" and
+	// "probe.filtered" events for coherence probes (FilterProbe), with the
+	// probed physical address as the argument. Nil means tracing is off.
+	Trace *obs.Emitter
 }
 
 // New builds an FBT.
@@ -330,6 +336,7 @@ func (f *FBT) FilterProbe(pa memory.PAddr) (memory.VAddr, memory.ASID, bool) {
 	e := f.findPPN(pa.Page())
 	if e == nil {
 		f.st.CoherenceFiltered++
+		f.Trace.Emit("probe.filtered", uint64(pa))
 		return 0, 0, false
 	}
 	// A probe for a line the L2 doesn't hold and that can't be in the L1s
@@ -337,9 +344,11 @@ func (f *FBT) FilterProbe(pa memory.PAddr) (memory.VAddr, memory.ASID, bool) {
 	idx := pa.LineIndex()
 	if e.BitVec&(1<<uint(idx)) == 0 {
 		f.st.CoherenceFiltered++
+		f.Trace.Emit("probe.filtered", uint64(pa))
 		return 0, 0, false
 	}
 	f.st.CoherenceForwarded++
+	f.Trace.Emit("probe.forwarded", uint64(pa))
 	va := e.LVPN.Base() + memory.VAddr(uint64(pa)&(memory.PageSize-1))
 	return va, e.ASID, true
 }

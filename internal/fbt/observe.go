@@ -1,0 +1,21 @@
+package fbt
+
+import "vcache/internal/obs"
+
+// Observe registers the FBT/FT counters and the live-entry gauge with an
+// observability scope.
+func (f *FBT) Observe(sc obs.Scope) {
+	sc.Counter("ppn_lookups", &f.st.PPNLookups)
+	sc.Counter("ppn_hits", &f.st.PPNHits)
+	sc.Counter("allocations", &f.st.Allocations)
+	sc.Counter("evictions", &f.st.Evictions)
+	sc.Counter("synonym_accesses", &f.st.SynonymAccesses)
+	sc.Counter("rw_synonym_faults", &f.st.RWSynonymFaults)
+	sc.Counter("secondary_tlb_hits", &f.st.SecondaryTLBHits)
+	sc.Counter("secondary_tlb_misses", &f.st.SecondaryTLBMiss)
+	sc.Counter("shootdowns_applied", &f.st.ShootdownsApplied)
+	sc.Counter("shootdowns_filtered", &f.st.ShootdownsFiltered)
+	sc.Counter("coherence_forwarded", &f.st.CoherenceForwarded)
+	sc.Counter("coherence_filtered", &f.st.CoherenceFiltered)
+	sc.Gauge("resident", func() float64 { return float64(f.Len()) })
+}

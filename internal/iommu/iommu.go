@@ -13,6 +13,7 @@ import (
 
 	"vcache/internal/fbt"
 	"vcache/internal/memory"
+	"vcache/internal/obs"
 	"vcache/internal/ptw"
 	"vcache/internal/sim"
 	"vcache/internal/stats"
@@ -88,6 +89,11 @@ type IOMMU struct {
 	// SecondLevel, when non-nil, is consulted on shared-TLB misses before
 	// walking (the FBT in the paper's VC-with-OPT design).
 	SecondLevel *fbt.FBT
+
+	// Trace, if set, receives cycle-stamped "enqueue" (request arrives at
+	// the lookup port) and "dequeue" (request granted, TLB consulted)
+	// events with the VPN as the argument. Nil means tracing is off.
+	Trace *obs.Emitter
 
 	// pending merges concurrent misses to the same page into one walk,
 	// like the walker's MSHRs: duplicates attach to the outstanding walk.
@@ -165,9 +171,11 @@ func (io *IOMMU) bank(vpn memory.VPN) *sim.Server {
 func (io *IOMMU) Translate(asid memory.ASID, vpn memory.VPN, done func(Result)) {
 	io.st.Requests++
 	io.sampler.Record(io.eng.Now())
+	io.Trace.Emit("enqueue", uint64(vpn))
 	slot := io.bank(vpn).Admit()
 	io.delays.Add(float64(slot - io.eng.Now()))
 	io.eng.At(slot+io.cfg.LookupLatency, func() {
+		io.Trace.Emit("dequeue", uint64(vpn))
 		if e, ok := io.tlb.Lookup(asid, vpn); ok {
 			io.st.TLBHits++
 			done(Result{PTE: memory.PTE{PPN: e.Frame(vpn), Perm: e.Perm, Valid: true, Large: e.Large}})

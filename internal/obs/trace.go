@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Event is one cycle-stamped trace record: a component emitted a named
+// event with a small numeric payload (a VPN, a line address, a queue depth —
+// whatever the event's schema says).
+type Event struct {
+	Cycle uint64 // engine cycle the event occurred at
+	Comp  string // emitting component, e.g. "iommu", "ptw", "tlb.cu3"
+	Name  string // event name, e.g. "enqueue", "walk.start"
+	Arg   uint64 // event-specific payload
+}
+
+// EventSink consumes trace events. Implementations must tolerate events
+// arriving from a single simulation goroutine; the TraceWriter additionally
+// serializes across goroutines so parallel runs can share one file.
+type EventSink interface {
+	Emit(Event)
+}
+
+// Emitter stamps events with a fixed component name and the current cycle
+// before forwarding them to a sink. A nil *Emitter is valid and does
+// nothing, so components hold one pointer field and call Emit
+// unconditionally — the disabled path is a nil check, with no allocation
+// and no interface dispatch.
+type Emitter struct {
+	sink  EventSink
+	comp  string
+	clock func() uint64
+}
+
+// NewEmitter builds an emitter for comp whose events are stamped via clock.
+func NewEmitter(sink EventSink, comp string, clock func() uint64) *Emitter {
+	return &Emitter{sink: sink, comp: comp, clock: clock}
+}
+
+// Emit records one event. Safe on a nil receiver (tracing disabled).
+func (e *Emitter) Emit(name string, arg uint64) {
+	if e == nil {
+		return
+	}
+	e.sink.Emit(Event{Cycle: e.clock(), Comp: e.comp, Name: name, Arg: arg})
+}
+
+// Enabled reports whether events emitted here go anywhere.
+func (e *Emitter) Enabled() bool { return e != nil }
+
+// TraceWriter streams events to w in Chrome trace format (the JSON array
+// the chrome://tracing and Perfetto viewers load), one record per line so
+// the file greps like JSONL. Events are grouped into processes (one per
+// simulation run) and threads (one per component). All methods are safe for
+// concurrent use, so parallel runs can share one writer.
+type TraceWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	first bool
+	procs int
+	err   error
+}
+
+// NewTraceWriter starts a trace stream on w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: w, first: true}
+	t.write([]byte("[\n"))
+	return t
+}
+
+// write appends raw bytes, remembering the first error. Callers hold mu.
+func (t *TraceWriter) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// record writes one JSON object as an array element. Callers hold mu and
+// have built the object in t.buf.
+func (t *TraceWriter) record() {
+	if !t.first {
+		t.write([]byte(",\n"))
+	}
+	t.first = false
+	t.write(t.buf)
+}
+
+// meta emits a Chrome metadata record naming a process or thread.
+func (t *TraceWriter) meta(what string, pid, tid int, name string) {
+	b := t.buf[:0]
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, what)
+	b = append(b, `,"ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `}}`...)
+	t.buf = b
+	t.record()
+}
+
+// Process allocates a trace process (Chrome's grouping unit) named name —
+// one per simulation run — and returns its event sink.
+func (t *TraceWriter) Process(name string) *Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &Process{t: t, pid: t.procs, tids: make(map[string]int)}
+	t.procs++
+	t.meta("process_name", p.pid, 0, name)
+	return p
+}
+
+// Close terminates the JSON array. The writer must not be used afterwards.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write([]byte("\n]\n"))
+	return t.err
+}
+
+// Err returns the first write error observed.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Process is one simulation run's slice of a TraceWriter. Each distinct
+// component name becomes a Chrome thread within the process.
+type Process struct {
+	t    *TraceWriter
+	pid  int
+	tids map[string]int
+}
+
+// Emit writes ev as a Chrome instant event:
+//
+//	{"name":N,"cat":C,"ph":"i","s":"t","ts":cycle,"pid":P,"tid":T,"args":{"v":arg}}
+//
+// ts is the simulation cycle (the viewer's microsecond unit reads as
+// cycles).
+func (p *Process) Emit(ev Event) {
+	t := p.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid, ok := p.tids[ev.Comp]
+	if !ok {
+		tid = len(p.tids)
+		p.tids[ev.Comp] = tid
+		t.meta("thread_name", p.pid, tid, ev.Comp)
+	}
+	b := t.buf[:0]
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, ev.Name)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, ev.Comp)
+	b = append(b, `,"ph":"i","s":"t","ts":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(p.pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"v":`...)
+	b = strconv.AppendUint(b, ev.Arg, 10)
+	b = append(b, `}}`...)
+	t.buf = b
+	t.record()
+}
+
+// Buffer is an in-memory EventSink for tests and programmatic consumers.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit appends ev.
+func (b *Buffer) Emit(ev Event) { b.Events = append(b.Events, ev) }

@@ -1,0 +1,19 @@
+package ptw
+
+import "vcache/internal/obs"
+
+// Observe registers the walker's counters, the in-flight/queued walk
+// gauges, and the page-walk cache (under "<scope>.pwc") with an
+// observability scope.
+func (w *Walker) Observe(sc obs.Scope) {
+	sc.Counter("walks", &w.stats.Walks)
+	sc.Counter("faults", &w.stats.Faults)
+	sc.Counter("queued_walks", &w.stats.QueuedWalks)
+	sc.Counter("queue_delay", &w.stats.QueueDelay)
+	sc.Counter("walk_cycles", &w.stats.WalkCycles)
+	sc.IntGauge("walks.inflight", &w.busy)
+	sc.Gauge("walks.queued", func() float64 { return float64(len(w.queue)) })
+	pwc := sc.Scope("pwc")
+	pwc.Counter("hits", &w.stats.PWCHits)
+	pwc.Counter("misses", &w.stats.PWCMisses)
+}

@@ -12,6 +12,7 @@ import (
 	"vcache/internal/cache"
 	"vcache/internal/dram"
 	"vcache/internal/memory"
+	"vcache/internal/obs"
 	"vcache/internal/sim"
 )
 
@@ -66,6 +67,10 @@ type Walker struct {
 	queue []pending
 	free  []*walkState // recycled walk threads; steady state allocates nothing
 	stats Stats
+
+	// Trace, if set, receives cycle-stamped "walk.start" and "walk.finish"
+	// events with the walked VPN as the argument. Nil means tracing is off.
+	Trace *obs.Emitter
 }
 
 type pending struct {
@@ -80,6 +85,7 @@ type pending struct {
 // recycle through Walker.free across walks.
 type walkState struct {
 	w         *Walker
+	vpn       memory.VPN
 	pte       memory.PTE
 	tr        memory.WalkTrace
 	levels    int
@@ -142,7 +148,9 @@ func (w *Walker) start(vpn memory.VPN, done func(Result)) {
 		ws = &walkState{w: w}
 		ws.resume = ws.memDone
 	}
+	w.Trace.Emit("walk.start", uint64(vpn))
 	ws.began = w.eng.Now()
+	ws.vpn = vpn
 	ws.pte, ws.tr, ws.levels = w.pt.Walk(vpn)
 	ws.level = 0
 	ws.done = done
@@ -189,6 +197,7 @@ func (ws *walkState) step() {
 }
 
 func (w *Walker) finish(ws *walkState) {
+	w.Trace.Emit("walk.finish", uint64(ws.vpn))
 	w.stats.WalkCycles += w.eng.Now() - ws.began
 	// Large-page walks legitimately resolve in three levels; only an
 	// invalid PTE is a fault.

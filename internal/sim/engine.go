@@ -32,6 +32,16 @@ type funcHandler func()
 
 func (f funcHandler) Handle(uint64) { f() }
 
+// Tracer observes engine activity: Fired is called for every event, with
+// the cycle it fires at, the handler receiving it, and its argument, just
+// before the handler runs. Tracers are for observability tooling (event
+// tracing, event-rate profiling); they must not schedule or mutate engine
+// state. With no tracer installed the hook is a single nil check on the
+// firing path — no allocation, no interface dispatch.
+type Tracer interface {
+	Fired(cycle uint64, h Handler, arg uint64)
+}
+
 // bucketEvent is an in-window queue entry. Its cycle is implied by the
 // bucket holding it and its FIFO rank by its position, so only the handler
 // and argument are stored — 24 bytes moved per schedule/fire.
@@ -72,6 +82,8 @@ type Engine struct {
 	now   uint64
 	seq   uint64
 	fired uint64
+
+	tracer Tracer
 }
 
 // New returns a fresh engine at cycle 0.
@@ -82,6 +94,9 @@ func (e *Engine) Now() uint64 { return e.now }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetTracer installs (or, with nil, removes) the engine's event tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.bucketed + len(e.overflow) }
@@ -153,6 +168,9 @@ func (e *Engine) Step() bool {
 	e.cur++
 	e.bucketed--
 	e.fired++
+	if e.tracer != nil {
+		e.tracer.Fired(e.now, ev.h, ev.arg)
+	}
 	ev.h.Handle(ev.arg)
 	return true
 }

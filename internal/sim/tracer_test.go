@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+type recordingTracer struct {
+	cycles []uint64
+	args   []uint64
+	hs     []Handler
+}
+
+func (r *recordingTracer) Fired(cycle uint64, h Handler, arg uint64) {
+	r.cycles = append(r.cycles, cycle)
+	r.args = append(r.args, arg)
+	r.hs = append(r.hs, h)
+}
+
+// The tracer must see every fired event with the firing cycle, the handler
+// receiving it, and its argument, in firing order — for both the Handler
+// form and the plain func form.
+func TestTracerSeesEveryEvent(t *testing.T) {
+	e := New()
+	h := &countHandler{}
+	tr := &recordingTracer{}
+	e.SetTracer(tr)
+
+	e.ScheduleEvent(5, h, 11)
+	e.ScheduleEvent(2, h, 22)
+	called := false
+	e.At(2, func() { called = true })
+	e.Run()
+
+	if !called || h.n != 33 {
+		t.Fatalf("events did not run normally under tracing: called=%v n=%d", called, h.n)
+	}
+	wantCycles := []uint64{2, 2, 5}
+	wantArgs := []uint64{22, 0, 11}
+	if len(tr.cycles) != 3 {
+		t.Fatalf("tracer saw %d events, want 3", len(tr.cycles))
+	}
+	for i := range wantCycles {
+		if tr.cycles[i] != wantCycles[i] || tr.args[i] != wantArgs[i] {
+			t.Fatalf("event %d = (cycle %d, arg %d), want (%d, %d)",
+				i, tr.cycles[i], tr.args[i], wantCycles[i], wantArgs[i])
+		}
+	}
+	if tr.hs[0] != Handler(h) || tr.hs[2] != Handler(h) {
+		t.Fatal("tracer did not receive the scheduled handler")
+	}
+
+	// Removing the tracer stops the callbacks.
+	e.SetTracer(nil)
+	e.ScheduleEvent(1, h, 1)
+	e.Run()
+	if len(tr.cycles) != 3 {
+		t.Fatal("tracer called after removal")
+	}
+}
+
+// A no-op tracer on the firing path must not allocate: the hook passes the
+// already-stored (handler, arg) pair through without boxing.
+func TestTracerZeroAlloc(t *testing.T) {
+	e := New()
+	h := &countHandler{}
+	tr := &nopTracer{}
+	e.SetTracer(tr)
+	for i := 0; i < 1024; i++ {
+		e.ScheduleEvent(uint64(i%100), h, 1)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleEvent(16, h, 1)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("traced steady state: %v allocs/op, want 0", avg)
+	}
+}
+
+type nopTracer struct{ n uint64 }
+
+func (t *nopTracer) Fired(cycle uint64, h Handler, arg uint64) { t.n++ }

@@ -1,0 +1,15 @@
+package tlb
+
+import "vcache/internal/obs"
+
+// Observe registers the TLB's counters with an observability scope (e.g.
+// "tlb.cu3" or "iommu.tlb"). Pointers into the live Stats struct are
+// registered, so the lookup path is untouched.
+func (t *TLB) Observe(sc obs.Scope) {
+	sc.Counter("hits", &t.stats.Hits)
+	sc.Counter("misses", &t.stats.Misses)
+	sc.Counter("inserts", &t.stats.Inserts)
+	sc.Counter("evictions", &t.stats.Evictions)
+	sc.Counter("shootdowns", &t.stats.Shootdowns)
+	sc.Gauge("resident", func() float64 { return float64(t.Len()) })
+}

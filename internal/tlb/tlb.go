@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"vcache/internal/memory"
+	"vcache/internal/obs"
 )
 
 // Entry is a cached translation. Large entries cover a 2MB region: VPN and
@@ -83,6 +84,10 @@ type TLB struct {
 	// (replacement or invalidation) with the entry and its residence time
 	// in cycles.
 	OnEvict func(e Entry, lifetime uint64)
+	// Trace, if set, receives a cycle-stamped "miss" event for every
+	// lookup miss, with the missing VPN as the argument. A nil emitter
+	// costs one branch, keeping Lookup allocation-free when tracing is off.
+	Trace *obs.Emitter
 }
 
 type key struct {
@@ -154,6 +159,7 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 			}
 		}
 		t.stats.Misses++
+		t.Trace.Emit("miss", uint64(vpn))
 		return Entry{}, false
 	}
 	set := t.sets[t.setIndex(asid, vpn)]
@@ -176,6 +182,7 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 		}
 	}
 	t.stats.Misses++
+	t.Trace.Emit("miss", uint64(vpn))
 	return Entry{}, false
 }
 

@@ -17,16 +17,39 @@
 //	vc := vcache.Run(vcache.DesignVCOpt(), tr)
 //	fmt.Printf("speedup %.2fx\n", vc.SpeedupOver(base))
 //
+// # Migration: Run to RunContext
+//
+// Run(cfg, tr) remains supported as a thin compatibility wrapper: it
+// panics on an invalid Config and cannot be cancelled or observed. New
+// code should prefer RunContext, which accepts a context for
+// cancellation, reports invalid configurations as a *ConfigError instead
+// of panicking, and takes functional options that attach observers
+// without perturbing the simulation:
+//
+//	res, err := vcache.RunContext(ctx, cfg, tr,
+//	    vcache.WithMetricsSink(metricsFile),   // interval registry snapshots, JSONL
+//	    vcache.WithEventTrace(traceProcess),   // cycle-stamped component events
+//	    vcache.WithProgress(func(p vcache.Progress) { log.Println(p.Cycle) }))
+//
+// A run with no options is cycle-for-cycle identical to Run. Per-component
+// metrics (hierarchical names like "l1.cu3.read_hits", "iommu.tlb.misses",
+// "ptw.walks.inflight") are available on any System via Metrics(); event
+// traces written through NewTraceWriter load directly into the
+// chrome://tracing / Perfetto viewers.
+//
 // The exported names are aliases of the implementation packages under
 // internal/, so the full method sets are available through this package.
 package vcache
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"vcache/internal/core"
 	"vcache/internal/experiments"
 	"vcache/internal/memory"
+	"vcache/internal/obs"
 	"vcache/internal/trace"
 	"vcache/internal/workloads"
 )
@@ -52,6 +75,23 @@ type (
 	Lifetimes = core.Lifetimes
 	// Latencies are the SoC's fixed latencies in GPU cycles.
 	Latencies = core.Latencies
+	// ConfigError reports an invalid Config (returned by RunContext;
+	// panicked by Run/NewSystem).
+	ConfigError = core.ConfigError
+	// Option customizes a RunContext invocation (see the With* options).
+	Option = core.Option
+	// Progress reports run advancement to a WithProgress callback.
+	Progress = core.Progress
+	// MetricsRegistry is a System's per-component metrics registry.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time reading of a MetricsRegistry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one cycle-stamped component event.
+	TraceEvent = obs.Event
+	// EventSink consumes trace events (see WithEventTrace).
+	EventSink = obs.EventSink
+	// TraceWriter streams trace events in Chrome trace format.
+	TraceWriter = obs.TraceWriter
 	// ASID identifies an address space (process) on the GPU.
 	ASID = memory.ASID
 	// VAddr is a virtual byte address.
@@ -93,7 +133,15 @@ type (
 	TraceBuilder = trace.Builder
 	// ExperimentSuite regenerates the paper's tables and figures.
 	ExperimentSuite = experiments.Suite
+	// RunEvent describes one completed suite simulation.
+	RunEvent = experiments.RunEvent
+	// ProgressFunc receives one RunEvent per completed suite simulation.
+	ProgressFunc = experiments.ProgressFunc
 )
+
+// ProgressWriter adapts an io.Writer to a ProgressFunc for
+// ExperimentSuite.Progress, reproducing the historical line format.
+var ProgressWriter = experiments.ProgressWriter
 
 // Design presets (Table 2 plus the comparison points of Figures 10/11).
 var (
@@ -145,13 +193,49 @@ func NewTraceBuilderASID(name string, asid ASID, numCUs, warpsPerCU int) *TraceB
 // LoadTrace reads a trace saved by Trace.Save (or cmd/tracegen -o).
 func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
 
+// RunContext options. Each attaches an observer to the run; none perturbs
+// the simulated timing.
+var (
+	// WithMetricsSink streams interval metrics snapshots to a writer as
+	// JSONL.
+	WithMetricsSink = core.WithMetricsSink
+	// WithMetricsInterval sets the snapshot period in cycles (default
+	// 100k).
+	WithMetricsInterval = core.WithMetricsInterval
+	// WithMetricsSnapshot delivers each snapshot to a callback.
+	WithMetricsSnapshot = core.WithMetricsSnapshot
+	// WithEventTrace attaches an EventSink to the component emitters.
+	WithEventTrace = core.WithEventTrace
+	// WithProgress reports liveness during long runs.
+	WithProgress = core.WithProgress
+)
+
 // NewSystem assembles a system; use it instead of Run when you need to
 // prepare state first (synonym mappings, permissions) or to drive
-// shootdowns and coherence probes.
-func NewSystem(cfg Config) *System { return core.New(cfg) }
+// shootdowns and coherence probes. It panics on an invalid Config; call
+// Config.Validate first to check, or use RunContext for the
+// error-returning path.
+func NewSystem(cfg Config) *System { return core.MustNew(cfg) }
 
 // Run simulates tr to completion under cfg and returns the measurements.
-func Run(cfg Config, tr *Trace) Results { return core.Run(cfg, tr) }
+// It is the compatibility wrapper around RunContext (see the package
+// comment's migration notes): invalid configurations panic and the run
+// cannot be cancelled or observed.
+func Run(cfg Config, tr *Trace) Results { return core.MustRun(cfg, tr) }
+
+// RunContext simulates tr to completion under cfg, honouring ctx and the
+// given observability options. Invalid configurations return a
+// *ConfigError; a cancelled context stops the run mid-simulation and
+// returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config, tr *Trace, opts ...Option) (Results, error) {
+	return core.RunContext(ctx, cfg, tr, opts...)
+}
+
+// NewTraceWriter starts a Chrome-trace-format event stream on w. Give
+// each simulated run its own Process (whose Emit satisfies EventSink) and
+// pass that to WithEventTrace; the resulting file loads directly into
+// chrome://tracing or the Perfetto UI.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
 
 // NewExperimentSuite builds a suite that regenerates the paper's tables
 // and figures over the named workloads (nil = all fifteen).
