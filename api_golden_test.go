@@ -22,11 +22,13 @@ var apiGolden = []string{
 	"const PhysicalBaseline",
 	"const VirtualHierarchy",
 	"func BuildWorkload",
+	"func DefaultArtifactCacheDir",
 	"func DefaultParams",
 	"func ExperimentIDs",
 	"func HighBandwidthWorkloads",
 	"func LoadTrace",
 	"func NewExperimentSuite",
+	"func OpenArtifactCache",
 	"func NewSystem",
 	"func NewTraceBuilder",
 	"func NewTraceBuilderASID",
@@ -35,6 +37,7 @@ var apiGolden = []string{
 	"func RunContext",
 	"func Workloads",
 	"type ASID",
+	"type ArtifactCache",
 	"type Config",
 	"type ConfigError",
 	"type EventSink",

@@ -24,6 +24,10 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"vcache/internal/artifact"
+	"vcache/internal/experiments"
+	"vcache/internal/workloads"
 )
 
 // Benchmark is one parsed benchmark result.
@@ -76,6 +80,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The incremental-run numbers: the same full suite against an empty
+		// artifact cache (cold) and again against the populated one (warm).
+		if err := suiteCacheTimes(&snap); err != nil {
+			fatal(err)
+		}
 	}
 
 	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
@@ -92,6 +101,58 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
+}
+
+// suiteCacheTimes measures the artifact cache's effect on the full
+// experiment suite: one serial pass against an empty cache directory
+// (cold: every trace generated, every design simulated, everything
+// stored), then a second pass with a fresh Suite over the now-populated
+// directory (warm: every result loaded from disk). Both land in the
+// snapshot as SuiteColdCache / SuiteWarmCache, the warm entry carrying the
+// observed speedup.
+func suiteCacheTimes(snap *Snapshot) error {
+	dir, err := os.MkdirTemp("", "vcache-bench-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ids := append(experiments.Figures(), experiments.Extras()...)
+	pass := func() (time.Duration, error) {
+		s, err := experiments.New(workloads.DefaultParams(), nil)
+		if err != nil {
+			return 0, err
+		}
+		s.Workers = 1
+		if s.Cache, err = artifact.Open(dir); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := s.Precompute(ids...); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	cold, err := pass()
+	if err != nil {
+		return err
+	}
+	warm, err := pass()
+	if err != nil {
+		return err
+	}
+	speedup := cold.Seconds() / warm.Seconds()
+	fmt.Fprintf(os.Stderr, "suite cache: cold %.2fs, warm %.3fs (%.0fx)\n",
+		cold.Seconds(), warm.Seconds(), speedup)
+
+	snap.Benchmarks = append(snap.Benchmarks,
+		Benchmark{Name: "SuiteColdCache", Package: "vcache/bench", Iterations: 1,
+			Metrics: map[string]float64{"s/op": cold.Seconds()}},
+		Benchmark{Name: "SuiteWarmCache", Package: "vcache/bench", Iterations: 1,
+			Metrics: map[string]float64{"s/op": warm.Seconds(), "speedup": speedup}},
+	)
+	return nil
 }
 
 // runBench executes `go <args>`, echoes its output, and folds parsed

@@ -13,6 +13,12 @@
 // and deterministic, so the figure text is byte-identical at any
 // -parallel setting; only wall-clock time changes.
 //
+// Runs are incremental: traces and results are stored in a
+// content-addressed on-disk cache (default out/cache, or $VCACHE_DIR, or
+// -cache-dir), so re-running with unchanged inputs reloads results instead
+// of resimulating and produces byte-identical output. -no-cache disables
+// the cache, -cache-stats reports its traffic.
+//
 // Output is the text rendering of each table/figure; absolute numbers
 // depend on the synthetic inputs, but the shapes track the paper (see
 // EXPERIMENTS.md).
@@ -26,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"vcache/internal/artifact"
 	"vcache/internal/experiments"
 	"vcache/internal/obs"
 	"vcache/internal/prof"
@@ -50,6 +57,9 @@ func main() {
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
 	metricsOut := flag.String("metrics", "", "dump every run's end-of-run metrics registry to this JSONL file")
 	eventsOut := flag.String("events", "", "write a Chrome-trace event file covering every run (one process per run)")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $VCACHE_DIR or out/cache)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
+	cacheStats := flag.Bool("cache-stats", false, "print artifact-cache traffic to stderr on exit")
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -70,6 +80,13 @@ func main() {
 		os.Exit(1)
 	}
 	suite.Workers = *parallel
+	if !*noCache {
+		suite.Cache, err = artifact.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !*quiet {
 		suite.Progress = experiments.ProgressWriter(os.Stderr)
 	}
@@ -152,6 +169,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", *eventsOut)
+	}
+	if *cacheStats && suite.Cache != nil {
+		fmt.Fprintf(os.Stderr, "cache %s: %s\n", suite.Cache.Dir(), suite.Cache.Stats())
 	}
 }
 

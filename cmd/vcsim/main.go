@@ -20,6 +20,12 @@
 // -events FILE writes a Chrome-trace event file (one process per design)
 // that loads into chrome://tracing or the Perfetto UI. Both are off by
 // default and cost nothing when unused.
+//
+// Generated traces and simulation results are cached on disk (default
+// out/cache, or $VCACHE_DIR, or -cache-dir) keyed by workload parameters
+// and the full design config, so repeated invocations replay from the
+// cache with byte-identical output. -no-cache disables this; -metrics and
+// -events runs always simulate live.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"strings"
 	"sync"
 
+	"vcache/internal/artifact"
 	"vcache/internal/core"
 	"vcache/internal/obs"
 	"vcache/internal/prof"
@@ -86,6 +93,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	metricsOut := flag.String("metrics", "", "stream interval metrics-registry snapshots to this JSONL file (one labeled record per interval per design)")
 	eventsOut := flag.String("events", "", "write cycle-stamped component events to this Chrome-trace file (one process per design)")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $VCACHE_DIR or out/cache)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
+	cacheStats := flag.Bool("cache-stats", false, "print artifact-cache traffic to stderr on exit")
 	list := flag.Bool("list", false, "list workloads and designs")
 	flag.Parse()
 
@@ -131,8 +141,22 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 
+	var cache *artifact.Cache
+	if !*noCache {
+		var err error
+		cache, err = artifact.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	var tr *trace.Trace
+	var traceKey artifact.Fingerprint
+	haveKey := false
 	if *traceFile != "" {
+		// An explicit trace file has no derivable cache identity; replay it
+		// as given and compute results live.
 		var err error
 		tr, err = trace.LoadFile(*traceFile)
 		if err != nil {
@@ -146,8 +170,16 @@ func main() {
 			os.Exit(1)
 		}
 		p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
-		tr = g.Build(p)
+		traceKey, haveKey = artifact.TraceKey(g.Name, p), true
+		if tr = cache.GetTrace(traceKey); tr == nil {
+			tr = g.Build(p)
+			cache.PutTrace(traceKey, tr)
+		}
 	}
+	// Results can come from the cache only when nothing needs a live
+	// simulation (metrics and event sinks do) and the trace identity is
+	// known (a -tracefile trace isn't content-addressed).
+	useResultCache := cache != nil && haveKey && *metricsOut == "" && *eventsOut == ""
 	s := tr.Summarize()
 	fmt.Printf("workload %s: %d mem insts, %d coalesced lines, divergence %.2f, %d pages\n",
 		tr.Name, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
@@ -190,6 +222,12 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if useResultCache {
+				if res, ok := cache.GetResults(artifact.ResultKey(traceKey, cfg)); ok {
+					results[i] = res
+					return
+				}
+			}
 			sys, err := core.New(cfg)
 			if err != nil {
 				errs[i] = err
@@ -205,6 +243,9 @@ func main() {
 				}))
 			}
 			results[i], errs[i] = sys.RunContext(context.Background(), tr, opts...)
+			if useResultCache && errs[i] == nil {
+				cache.PutResults(artifact.ResultKey(traceKey, cfg), results[i])
+			}
 		}(i, cfg)
 	}
 	wg.Wait()
@@ -247,6 +288,9 @@ func main() {
 			fmt.Println()
 		}
 		printResults(r, *probe)
+	}
+	if *cacheStats && cache != nil {
+		fmt.Fprintf(os.Stderr, "cache %s: %s\n", cache.Dir(), cache.Stats())
 	}
 }
 

@@ -1,0 +1,360 @@
+// Package artifact is a content-addressed on-disk cache for the expensive
+// artifacts of the experiment pipeline: generated workload traces and
+// simulation results. It is what makes re-runs incremental — a suite whose
+// inputs haven't changed reloads every result from disk instead of
+// regenerating traces and resimulating.
+//
+// Keys are fingerprints (see internal/fingerprint) over everything that
+// determines an artifact's bytes:
+//
+//   - a trace is keyed by workload name + normalized workloads.Params +
+//     trace.FormatVersion + workloads.GeneratorVersion;
+//   - a result is keyed by the trace's key + core.ConfigFingerprint (which
+//     covers every exported Config field plus core.SimVersion).
+//
+// Bumping any of the version constants, or changing any config field,
+// therefore changes the key and old entries simply stop being found — no
+// explicit invalidation step exists or is needed. Stale files are garbage
+// that a `rm -r` of the cache directory clears.
+//
+// Entries are stored one file per artifact under <dir>/trace/ and
+// <dir>/result/, named by the key's hex digest, wrapped in a checksummed
+// envelope. Reads validate the envelope and payload before use: a corrupt,
+// truncated or version-mismatched entry counts as a miss (and is noted in
+// Stats.Corrupt), never an error — the caller recomputes and overwrites it.
+// Writes go through a temp file in the same directory followed by an atomic
+// rename, so concurrent processes sharing a cache directory never observe
+// partial entries.
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"vcache/internal/core"
+	"vcache/internal/fingerprint"
+	"vcache/internal/obs"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+// Fingerprint is a cache key.
+type Fingerprint = fingerprint.Sum
+
+// EnvDir is the environment variable overriding the default cache
+// directory.
+const EnvDir = "VCACHE_DIR"
+
+// envelope format: magic, version, payload length, payload checksum,
+// payload. The envelope guards the file plumbing (truncation, bit rot,
+// foreign files); the payload codecs additionally carry their own format
+// versions and schema hashes.
+const (
+	envMagic   = "vcacheaf"
+	envVersion = 1
+	envHeader  = 8 + 4 + 8 + 8
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// DefaultDir returns the cache directory used when none is configured:
+// $VCACHE_DIR if set, else out/cache relative to the working directory.
+func DefaultDir() string {
+	if d := os.Getenv(EnvDir); d != "" {
+		return d
+	}
+	return filepath.Join("out", "cache")
+}
+
+// Stats is a snapshot of cache-traffic counters.
+type Stats struct {
+	TraceHits    uint64
+	TraceMisses  uint64
+	ResultHits   uint64
+	ResultMisses uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// Corrupt counts entries rejected during Get (bad envelope, checksum or
+	// payload decode); each also counts as a miss.
+	Corrupt uint64
+	// Errors counts filesystem failures while writing entries. Put errors
+	// are deliberately swallowed — a read-only or full cache degrades to
+	// recomputation, it doesn't fail the run.
+	Errors uint64
+}
+
+// Hits and Misses sum both artifact kinds.
+func (s Stats) Hits() uint64   { return s.TraceHits + s.ResultHits }
+func (s Stats) Misses() uint64 { return s.TraceMisses + s.ResultMisses }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("traces %d/%d hit, results %d/%d hit, %s read, %s written, %d corrupt, %d errors",
+		s.TraceHits, s.TraceHits+s.TraceMisses,
+		s.ResultHits, s.ResultHits+s.ResultMisses,
+		fmtBytes(s.BytesRead), fmtBytes(s.BytesWritten), s.Corrupt, s.Errors)
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Cache is an open artifact cache rooted at a directory. All methods are
+// safe for concurrent use, including by multiple processes sharing the
+// directory. A nil *Cache is valid and never hits: code paths that support
+// -no-cache just carry a nil cache.
+type Cache struct {
+	dir string
+
+	traceHits    atomic.Uint64
+	traceMisses  atomic.Uint64
+	resultHits   atomic.Uint64
+	resultMisses atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	corrupt      atomic.Uint64
+	errors       atomic.Uint64
+}
+
+// Open opens (creating if needed) an artifact cache rooted at dir. An empty
+// dir means DefaultDir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	for _, sub := range []string{"trace", "result"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			return nil, fmt.Errorf("artifact: opening cache: %w", err)
+		}
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		TraceHits:    c.traceHits.Load(),
+		TraceMisses:  c.traceMisses.Load(),
+		ResultHits:   c.resultHits.Load(),
+		ResultMisses: c.resultMisses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Corrupt:      c.corrupt.Load(),
+		Errors:       c.errors.Load(),
+	}
+}
+
+// Observe registers the cache's counters with an observability scope, so
+// cache traffic lands in metrics output alongside simulator counters.
+func (c *Cache) Observe(sc obs.Scope) {
+	if c == nil {
+		return
+	}
+	gauge := func(name string, a *atomic.Uint64) {
+		sc.Gauge(name, func() float64 { return float64(a.Load()) })
+	}
+	gauge("trace_hits", &c.traceHits)
+	gauge("trace_misses", &c.traceMisses)
+	gauge("result_hits", &c.resultHits)
+	gauge("result_misses", &c.resultMisses)
+	gauge("bytes_read", &c.bytesRead)
+	gauge("bytes_written", &c.bytesWritten)
+	gauge("corrupt", &c.corrupt)
+	gauge("errors", &c.errors)
+}
+
+// ---------------------------------------------------------------------------
+// Keys
+
+// TraceKey fingerprints everything that determines a generated trace:
+// workload identity, normalized generation parameters, the on-disk trace
+// format, and the generator implementation version.
+func TraceKey(workload string, p workloads.Params) Fingerprint {
+	return fingerprint.Hash("vcache/trace", workload, p.Normalized(),
+		trace.FormatVersion, workloads.GeneratorVersion)
+}
+
+// ResultKey fingerprints everything that determines simulation results: the
+// input trace (via its cache key) and the full simulator configuration
+// (core.ConfigFingerprint covers every exported Config field and
+// core.SimVersion).
+func ResultKey(traceKey Fingerprint, cfg core.Config) Fingerprint {
+	cfgFP := core.ConfigFingerprint(cfg)
+	return fingerprint.Hash("vcache/result", traceKey[:], cfgFP[:])
+}
+
+// ---------------------------------------------------------------------------
+// Typed entry points
+
+// GetTrace loads the trace cached under key, or nil on any miss.
+func (c *Cache) GetTrace(key Fingerprint) *trace.Trace {
+	if c == nil {
+		return nil
+	}
+	payload := c.get("trace", key)
+	if payload != nil {
+		tr, err := trace.Read(bytes.NewReader(payload))
+		if err == nil {
+			c.traceHits.Add(1)
+			return tr
+		}
+		c.corrupt.Add(1)
+	}
+	c.traceMisses.Add(1)
+	return nil
+}
+
+// PutTrace stores tr under key. Errors are counted, not returned: a failed
+// write only costs a future recomputation.
+func (c *Cache) PutTrace(key Fingerprint, tr *trace.Trace) {
+	if c == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		c.errors.Add(1)
+		return
+	}
+	c.put("trace", key, buf.Bytes())
+}
+
+// GetResults loads the results cached under key; ok reports a hit.
+func (c *Cache) GetResults(key Fingerprint) (core.Results, bool) {
+	if c == nil {
+		return core.Results{}, false
+	}
+	payload := c.get("result", key)
+	if payload != nil {
+		res, err := core.DecodeResults(payload)
+		if err == nil {
+			c.resultHits.Add(1)
+			return res, true
+		}
+		c.corrupt.Add(1)
+	}
+	c.resultMisses.Add(1)
+	return core.Results{}, false
+}
+
+// PutResults stores res under key.
+func (c *Cache) PutResults(key Fingerprint, res core.Results) {
+	if c == nil {
+		return
+	}
+	c.put("result", key, core.EncodeResults(res))
+}
+
+// HasResult reports whether a result entry exists for key without reading
+// it. Planning code uses it to decide whether a trace will be needed at
+// all; the entry may still fail validation on the later GetResults, in
+// which case the caller falls back to computing.
+func (c *Cache) HasResult(key Fingerprint) bool {
+	if c == nil {
+		return false
+	}
+	st, err := os.Stat(c.path("result", key))
+	return err == nil && st.Mode().IsRegular() && st.Size() >= envHeader
+}
+
+// ---------------------------------------------------------------------------
+// Envelope plumbing
+
+func (c *Cache) path(kind string, key Fingerprint) string {
+	return filepath.Join(c.dir, kind, key.String())
+}
+
+// get reads and validates the envelope for key, returning the payload or
+// nil on any miss (absent, unreadable, or malformed — malformed also counts
+// as corrupt). Kind-specific hit/miss counters are the caller's job.
+func (c *Cache) get(kind string, key Fingerprint) []byte {
+	data, err := os.ReadFile(c.path(kind, key))
+	if err != nil {
+		return nil
+	}
+	c.bytesRead.Add(uint64(len(data)))
+	payload, err := openEnvelope(data)
+	if err != nil {
+		c.corrupt.Add(1)
+		return nil
+	}
+	return payload
+}
+
+func openEnvelope(data []byte) ([]byte, error) {
+	if len(data) < envHeader {
+		return nil, errors.New("artifact: entry shorter than envelope header")
+	}
+	if string(data[:8]) != envMagic {
+		return nil, errors.New("artifact: bad envelope magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != envVersion {
+		return nil, fmt.Errorf("artifact: envelope version %d (want %d)", v, envVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[12:])
+	if n != uint64(len(data)-envHeader) {
+		return nil, fmt.Errorf("artifact: payload length %d, have %d bytes", n, len(data)-envHeader)
+	}
+	payload := data[envHeader:]
+	want := binary.LittleEndian.Uint64(data[20:])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("artifact: payload checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+	return payload, nil
+}
+
+// put writes payload for key atomically: temp file in the destination
+// directory, then rename. Failures bump the error counter and leave any
+// existing entry untouched.
+func (c *Cache) put(kind string, key Fingerprint, payload []byte) {
+	dst := c.path(kind, key)
+	var hdr [envHeader]byte
+	copy(hdr[:8], envMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], envVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[20:], crc64.Checksum(payload, crcTable))
+
+	f, err := os.CreateTemp(filepath.Dir(dst), "."+key.String()[:16]+".tmp*")
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		c.errors.Add(1)
+		return
+	}
+	c.bytesWritten.Add(uint64(envHeader + len(payload)))
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"vcache/internal/artifact"
 	"vcache/internal/core"
 	"vcache/internal/obs"
 	"vcache/internal/trace"
@@ -33,6 +34,9 @@ type RunEvent struct {
 	Design   string
 	Cycles   uint64        // simulated GPU cycles
 	Wall     time.Duration // wall-clock time the simulation took
+	// Cached marks a result loaded from the artifact cache instead of
+	// simulated; Wall is then the load time.
+	Cached bool
 }
 
 // ProgressFunc receives one RunEvent per completed simulation. Calls are
@@ -40,9 +44,15 @@ type RunEvent struct {
 type ProgressFunc func(RunEvent)
 
 // ProgressWriter adapts an io.Writer to a ProgressFunc, reproducing the
-// suite's historical progress-line format byte for byte.
+// suite's historical progress-line format byte for byte (cache hits, which
+// did not exist historically, are marked).
 func ProgressWriter(w io.Writer) ProgressFunc {
 	return func(ev RunEvent) {
+		if ev.Cached {
+			fmt.Fprintf(w, "  hit %-14s %-22s %9d cycles  (cached)\n",
+				ev.Workload, ev.Design, ev.Cycles)
+			return
+		}
 		fmt.Fprintf(w, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
 			ev.Workload, ev.Design, ev.Cycles, ev.Wall.Seconds())
 	}
@@ -70,6 +80,13 @@ type Suite struct {
 	// component events; each run becomes its own trace process named
 	// "workload/design".
 	EventTrace *obs.TraceWriter
+	// Cache, when non-nil, backs the in-memory memoization with the on-disk
+	// artifact cache: traces and results found there are loaded instead of
+	// computed, and everything computed is stored for the next process.
+	// Results are bypassed (computed live) when CaptureMetrics or
+	// EventTrace is set, since those need an actual simulation; traces are
+	// cached regardless.
+	Cache *artifact.Cache
 
 	gens []workloads.Generator
 
@@ -167,9 +184,26 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 	c := &traceCall{done: make(chan struct{})}
 	s.traces[name] = c
 	s.mu.Unlock()
-	c.tr = g.Build(s.Params)
+	key := artifact.TraceKey(name, s.Params)
+	if c.tr = s.Cache.GetTrace(key); c.tr == nil {
+		c.tr = g.Build(s.Params)
+		s.Cache.PutTrace(key, c.tr)
+	}
 	close(c.done)
 	return c.tr, nil
+}
+
+// cachesResults reports whether Run may serve results from the artifact
+// cache: metrics capture and event tracing need a live simulation.
+func (s *Suite) cachesResults() bool {
+	return s.Cache != nil && !s.CaptureMetrics && s.EventTrace == nil
+}
+
+// resultKey derives the artifact-cache key for one simulation. It needs
+// only the workload's name and parameters, not its built trace — which is
+// what lets a fully-cached re-run skip trace generation entirely.
+func (s *Suite) resultKey(wl string, cfg core.Config) artifact.Fingerprint {
+	return artifact.ResultKey(artifact.TraceKey(wl, s.Params), cfg)
 }
 
 // Run simulates workload wl under cfg, memoized on (wl, cfg.Name). Configs
@@ -179,9 +213,8 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 // suite's workload set (a programmer error — figures only request their
 // own suite's generators); use Trace to probe membership.
 func (s *Suite) Run(wl string, cfg core.Config) core.Results {
-	tr, err := s.Trace(wl)
-	if err != nil {
-		panic(err)
+	if _, ok := s.generator(wl); !ok {
+		panic(fmt.Errorf("experiments: workload %q not in suite", wl))
 	}
 	key := runKey(wl, cfg.Name)
 	s.mu.Lock()
@@ -194,6 +227,21 @@ func (s *Suite) Run(wl string, cfg core.Config) core.Results {
 	s.results[key] = c
 	s.mu.Unlock()
 	start := time.Now()
+	// Consult the on-disk cache before touching the trace: a cached result
+	// makes generating or loading the (much larger) trace unnecessary.
+	if s.cachesResults() {
+		if res, ok := s.Cache.GetResults(s.resultKey(wl, cfg)); ok {
+			c.res = res
+			close(c.done)
+			s.emit(RunEvent{Workload: wl, Design: cfg.Name, Cycles: res.Cycles,
+				Wall: time.Since(start), Cached: true})
+			return c.res
+		}
+	}
+	tr, err := s.Trace(wl)
+	if err != nil {
+		panic(err) // unreachable: membership was validated above
+	}
 	sys := core.MustNew(cfg)
 	if s.EventTrace != nil {
 		sys.AttachTrace(s.EventTrace.Process(wl + "/" + cfg.Name))
@@ -202,6 +250,9 @@ func (s *Suite) Run(wl string, cfg core.Config) core.Results {
 	if s.CaptureMetrics {
 		// Snapshot after the run so observation never adds engine events.
 		c.snap = sys.Metrics().Snapshot(sys.Engine().Now())
+	}
+	if s.cachesResults() {
+		s.Cache.PutResults(s.resultKey(wl, cfg), c.res)
 	}
 	close(c.done)
 	s.emit(RunEvent{Workload: wl, Design: cfg.Name, Cycles: c.res.Cycles, Wall: time.Since(start)})

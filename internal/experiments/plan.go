@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 
 	"vcache/internal/core"
@@ -143,29 +144,62 @@ func (s *Suite) Precompute(ids ...string) error {
 // execution — each simulation stays single-threaded and deterministic;
 // only the scheduling changes.
 func (s *Suite) RunAll(reqs []RunRequest) error {
+	// Validate membership first so unknown workloads surface as errors
+	// before any work starts (and Run below cannot panic on membership).
 	var wls []string
 	seen := make(map[string]bool)
 	for _, r := range reqs {
-		if !seen[r.Workload] {
-			seen[r.Workload] = true
-			wls = append(wls, r.Workload)
+		if seen[r.Workload] {
+			continue
+		}
+		seen[r.Workload] = true
+		if _, ok := s.generator(r.Workload); !ok {
+			return fmt.Errorf("experiments: workload %q not in suite", r.Workload)
+		}
+		wls = append(wls, r.Workload)
+	}
+	// Stage 1: traces — but only for workloads that will actually simulate.
+	// A workload whose every requested result is already on disk (or
+	// memoized) skips trace generation entirely; if one of those entries
+	// later turns out corrupt, Run falls back to building the trace itself.
+	needed := wls[:0:0]
+	for _, wl := range wls {
+		for _, r := range reqs {
+			if r.Workload == wl && s.needsCompute(r) {
+				needed = append(needed, wl)
+				break
+			}
 		}
 	}
-	// Stage 1: traces. Workloads outside the suite surface here as errors,
-	// before any simulation starts.
-	err := forEachLimit(len(wls), s.workers(), func(i int) error {
-		_, err := s.Trace(wls[i])
+	err := forEachLimit(len(needed), s.workers(), func(i int) error {
+		_, err := s.Trace(needed[i])
 		return err
 	})
 	if err != nil {
 		return err
 	}
-	// Stage 2: simulations. Every workload is now validated, so Run
-	// cannot panic on membership.
+	// Stage 2: simulations (and cached-result loads).
 	return forEachLimit(len(reqs), s.workers(), func(i int) error {
 		s.Run(reqs[i].Workload, reqs[i].Config)
 		return nil
 	})
+}
+
+// needsCompute reports whether a request will (probably) need an actual
+// simulation: it is not memoized in-process and has no on-disk result
+// entry. Used only as a planning hint for trace prefetching — Run makes
+// the authoritative decision.
+func (s *Suite) needsCompute(r RunRequest) bool {
+	s.mu.Lock()
+	_, claimed := s.results[runKey(r.Workload, r.Config.Name)]
+	s.mu.Unlock()
+	if claimed {
+		return false
+	}
+	if !s.cachesResults() {
+		return true
+	}
+	return !s.Cache.HasResult(s.resultKey(r.Workload, r.Config))
 }
 
 // forEachLimit calls fn(0..n-1) from at most workers goroutines and

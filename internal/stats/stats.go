@@ -144,6 +144,16 @@ func (c *CDF) Add(x float64) {
 // N returns the number of observations.
 func (c *CDF) N() int { return len(c.xs) }
 
+// Values returns the recorded observations. The order is unspecified (a
+// query may have sorted them); At and Quantile depend only on the
+// multiset, so serializing Values and rebuilding with CDFOf yields an
+// equivalent CDF. The slice aliases the CDF's storage — don't mutate it.
+func (c *CDF) Values() []float64 { return c.xs }
+
+// CDFOf builds a CDF over the given observations, taking ownership of the
+// slice. It is the decoding counterpart of Values.
+func CDFOf(xs []float64) CDF { return CDF{xs: xs} }
+
 func (c *CDF) sortIfNeeded() {
 	if !c.sorted {
 		sort.Float64s(c.xs)

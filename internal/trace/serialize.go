@@ -2,61 +2,325 @@ package trace
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc64"
 	"io"
 	"os"
+
+	"vcache/internal/memory"
 )
 
-// File format: a small header (magic + version) followed by the
-// gob-encoded Trace. Traces regenerate in milliseconds, but saving them
-// lets heavy sweeps skip regeneration and lets external tools produce
-// traces for this simulator.
+// File format v3: a hand-rolled, checksummed binary encoding.
+//
+//	magic     [8]byte  "VCTRACE" + version byte
+//	name      uvarint length + bytes
+//	asid      uvarint
+//	numCUs    uvarint
+//	per CU:   numWarps uvarint
+//	per warp: numInsts uvarint, then numInsts fixed 15-byte records
+//	          (kind u8, lanes u16le, off u32le, cycles u64le)
+//	arena     uvarint length, then 8-byte little-endian VAddrs
+//	crc64     8 bytes (ECMA), over everything above
+//
+// The format is deterministic (identical traces encode to identical
+// bytes), which lets the artifact cache (internal/artifact) address and
+// checksum trace payloads by content. The reader is hardened against
+// hostile input: every header-declared count is capped before anything is
+// allocated, arrays are read in bounded chunks so a truncated file fails
+// fast instead of provoking a huge allocation, lane-arena references are
+// bounds-checked against the decoded arena, and the trailing checksum
+// rejects corruption. Versions 1 (per-instruction slices) and 2 (gob) are
+// rejected; regenerate old files with cmd/tracegen.
+const FormatVersion = 3
 
+var traceMagic = [8]byte{'V', 'C', 'T', 'R', 'A', 'C', 'E', FormatVersion}
+
+// Decoder caps. Counts beyond these are rejected outright; counts under
+// them still only allocate as fast as real data arrives.
 const (
-	traceMagic = "vcachetrace"
-	// Version 2: structure-of-arrays traces (flat Inst headers + shared
-	// lane-address arena). Version-1 files (per-instruction Addrs slices)
-	// are rejected; regenerate them with cmd/tracegen.
-	traceVersion = 2
+	maxNameLen      = 1 << 16
+	maxCUs          = 1 << 16
+	maxWarpsPerCU   = 1 << 16
+	maxTotalWarps   = 1 << 22
+	maxInstsPerWarp = 1 << 30
+	maxLanes        = 1 << 12
+	maxArenaLen     = 1 << 32
+
+	instBytes = 15
+	// chunkInsts bounds per-read allocation while decoding instruction
+	// streams (chunkInsts*instBytes ≈ 120KB buffer, reused).
+	chunkInsts = 8192
+	chunkAddrs = 8192
 )
 
-type traceHeader struct {
-	Magic   string
-	Version int
-}
+var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Write serializes the trace to w.
 func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(traceHeader{Magic: traceMagic, Version: traceVersion}); err != nil {
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, crc)
+
+	if _, err := mw.Write(traceMagic[:]); err != nil {
 		return fmt.Errorf("trace: encoding header: %w", err)
 	}
-	if err := enc.Encode(t); err != nil {
-		return fmt.Errorf("trace: encoding body: %w", err)
+	writeUvarint(mw, uint64(len(t.Name)))
+	io.WriteString(mw, t.Name)
+	writeUvarint(mw, uint64(t.ASID))
+	writeUvarint(mw, uint64(len(t.CUs)))
+	var buf [chunkInsts * instBytes]byte
+	for _, cu := range t.CUs {
+		writeUvarint(mw, uint64(len(cu.Warps)))
+		for _, warp := range cu.Warps {
+			writeUvarint(mw, uint64(len(warp)))
+			for len(warp) > 0 {
+				n := len(warp)
+				if n > chunkInsts {
+					n = chunkInsts
+				}
+				for i, in := range warp[:n] {
+					o := i * instBytes
+					buf[o] = byte(in.Kind)
+					binary.LittleEndian.PutUint16(buf[o+1:], in.Lanes)
+					binary.LittleEndian.PutUint32(buf[o+3:], in.Off)
+					binary.LittleEndian.PutUint64(buf[o+7:], in.Cycles)
+				}
+				if _, err := mw.Write(buf[:n*instBytes]); err != nil {
+					return fmt.Errorf("trace: encoding body: %w", err)
+				}
+				warp = warp[n:]
+			}
+		}
+	}
+	writeUvarint(mw, uint64(len(t.Arena)))
+	arena := t.Arena
+	for len(arena) > 0 {
+		n := len(arena)
+		if n > chunkAddrs {
+			n = chunkAddrs
+		}
+		for i, a := range arena[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(a))
+		}
+		if _, err := mw.Write(buf[:n*8]); err != nil {
+			return fmt.Errorf("trace: encoding arena: %w", err)
+		}
+		arena = arena[n:]
+	}
+	// The checksum itself is written outside the hashed stream.
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return fmt.Errorf("trace: encoding checksum: %w", err)
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a trace from r, validating the header.
+func writeUvarint(w io.Writer, x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	w.Write(buf[:n])
+}
+
+// hashedReader reads from an underlying buffered reader while folding
+// everything read into a running checksum.
+type hashedReader struct {
+	r *bufio.Reader
+	h hash.Hash64
+}
+
+func (hr *hashedReader) ReadByte() (byte, error) {
+	b, err := hr.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	hr.h.Write([]byte{b})
+	return b, nil
+}
+
+func (hr *hashedReader) full(p []byte) error {
+	if _, err := io.ReadFull(hr.r, p); err != nil {
+		return err
+	}
+	hr.h.Write(p)
+	return nil
+}
+
+func (hr *hashedReader) uvarint(what string, max uint64) (uint64, error) {
+	x, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+	}
+	if x > max {
+		return 0, fmt.Errorf("trace: %s %d exceeds limit %d", what, x, max)
+	}
+	return x, nil
+}
+
+// Read deserializes a trace from r, validating the header, every declared
+// size, the lane-arena references and the trailing checksum. Any
+// structural problem returns an error; Read never panics and never
+// allocates more memory than the input can back.
 func Read(r io.Reader) (*Trace, error) {
-	dec := gob.NewDecoder(bufio.NewReader(r))
-	var h traceHeader
-	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	hr := &hashedReader{r: bufio.NewReader(r), h: crc64.New(crcTable)}
+
+	var magic [8]byte
+	if err := hr.full(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if h.Magic != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", h.Magic)
+	if magic != traceMagic {
+		if string(magic[:7]) == "VCTRACE" {
+			return nil, fmt.Errorf("trace: unsupported format version %d (want %d); regenerate with cmd/tracegen", magic[7], FormatVersion)
+		}
+		return nil, fmt.Errorf("trace: bad magic %q (not a v%d trace file; regenerate with cmd/tracegen)", magic[:], FormatVersion)
 	}
-	if h.Version != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", h.Version, traceVersion)
+
+	nameLen, err := hr.uvarint("name length", maxNameLen)
+	if err != nil {
+		return nil, err
 	}
-	var t Trace
-	if err := dec.Decode(&t); err != nil {
-		return nil, fmt.Errorf("trace: decoding body: %w", err)
+	name := make([]byte, nameLen)
+	if err := hr.full(name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
-	return &t, nil
+	asid, err := hr.uvarint("asid", uint64(^memory.ASID(0)))
+	if err != nil {
+		return nil, err
+	}
+	numCUs, err := hr.uvarint("CU count", maxCUs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Trace{Name: string(name), ASID: memory.ASID(asid)}
+	if numCUs > 0 {
+		t.CUs = make([]CUTrace, numCUs)
+	}
+	var buf [chunkInsts * instBytes]byte
+	totalWarps := uint64(0)
+	for c := range t.CUs {
+		numWarps, err := hr.uvarint("warp count", maxWarpsPerCU)
+		if err != nil {
+			return nil, err
+		}
+		if totalWarps += numWarps; totalWarps > maxTotalWarps {
+			return nil, fmt.Errorf("trace: total warp contexts exceed limit %d", maxTotalWarps)
+		}
+		if numWarps == 0 {
+			continue
+		}
+		t.CUs[c].Warps = make([]WarpTrace, numWarps)
+		for w := range t.CUs[c].Warps {
+			numInsts, err := hr.uvarint("instruction count", maxInstsPerWarp)
+			if err != nil {
+				return nil, err
+			}
+			if numInsts == 0 {
+				continue
+			}
+			// Pre-size to at most one chunk; growth beyond that happens
+			// only as real data arrives, so a huge declared count on a
+			// truncated file fails before any large allocation.
+			capHint := numInsts
+			if capHint > chunkInsts {
+				capHint = chunkInsts
+			}
+			warp := make(WarpTrace, 0, capHint)
+			for remaining := numInsts; remaining > 0; {
+				n := remaining
+				if n > chunkInsts {
+					n = chunkInsts
+				}
+				if err := hr.full(buf[:n*instBytes]); err != nil {
+					return nil, fmt.Errorf("trace: reading instructions: %w", err)
+				}
+				for i := uint64(0); i < n; i++ {
+					o := i * instBytes
+					in := Inst{
+						Kind:   Kind(buf[o]),
+						Lanes:  binary.LittleEndian.Uint16(buf[o+1:]),
+						Off:    binary.LittleEndian.Uint32(buf[o+3:]),
+						Cycles: binary.LittleEndian.Uint64(buf[o+7:]),
+					}
+					if in.Kind > Barrier {
+						return nil, fmt.Errorf("trace: cu %d warp %d: invalid instruction kind %d", c, w, buf[o])
+					}
+					if in.Lanes > maxLanes {
+						return nil, fmt.Errorf("trace: cu %d warp %d: lane count %d exceeds limit %d", c, w, in.Lanes, maxLanes)
+					}
+					warp = append(warp, in)
+				}
+				remaining -= n
+			}
+			t.CUs[c].Warps[w] = warp
+		}
+	}
+
+	arenaLen, err := hr.uvarint("arena length", maxArenaLen)
+	if err != nil {
+		return nil, err
+	}
+	if arenaLen > 0 {
+		capHint := arenaLen
+		if capHint > chunkAddrs {
+			capHint = chunkAddrs
+		}
+		t.Arena = make([]memory.VAddr, 0, capHint)
+		for remaining := arenaLen; remaining > 0; {
+			n := remaining
+			if n > chunkAddrs {
+				n = chunkAddrs
+			}
+			if err := hr.full(buf[:n*8]); err != nil {
+				return nil, fmt.Errorf("trace: reading arena: %w", err)
+			}
+			for i := uint64(0); i < n; i++ {
+				t.Arena = append(t.Arena, memory.VAddr(binary.LittleEndian.Uint64(buf[i*8:])))
+			}
+			remaining -= n
+		}
+	}
+
+	sum := hr.h.Sum64()
+	var stored [8]byte
+	if _, err := io.ReadFull(hr.r, stored[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(stored[:]); got != sum {
+		return nil, fmt.Errorf("trace: checksum mismatch (file corrupt?): stored %#x, computed %#x", got, sum)
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks the trace's structural invariants: every Load/Store's
+// lane-arena reference must lie inside the arena. Read calls it on every
+// decoded trace so a corrupt file can never provoke an out-of-bounds
+// access during replay.
+func (t *Trace) Validate() error {
+	arena := uint64(len(t.Arena))
+	for c := range t.CUs {
+		for w, warp := range t.CUs[c].Warps {
+			for i, in := range warp {
+				if in.Kind != Load && in.Kind != Store {
+					continue
+				}
+				if in.Lanes == 0 {
+					return fmt.Errorf("trace: cu %d warp %d inst %d: %v with zero lanes", c, w, i, in.Kind)
+				}
+				if uint64(in.Off)+uint64(in.Lanes) > arena {
+					return fmt.Errorf("trace: cu %d warp %d inst %d: lane reference [%d, %d) outside arena of %d",
+						c, w, i, in.Off, uint64(in.Off)+uint64(in.Lanes), arena)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Save writes the trace to path.

@@ -19,6 +19,13 @@ import (
 	"vcache/internal/trace"
 )
 
+// GeneratorVersion identifies the behavioural version of the trace
+// generators. Bump it whenever a generator change makes any workload emit a
+// different trace for identical Params — it is part of every cached trace's
+// key (internal/artifact), so stale traces stop matching instead of being
+// replayed silently.
+const GeneratorVersion = 1
+
 // Params controls trace generation.
 type Params struct {
 	// Scale multiplies the input sizes (1 = the default laptop-scale
@@ -36,6 +43,12 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{Scale: 1, NumCUs: 16, WarpsPerCU: 8, Seed: 42}
 }
+
+// Normalized returns p with zero or negative fields replaced by their
+// defaults — the parameters generation actually runs with. Cache keys must
+// be derived from the normalized form so that Params{} and DefaultParams()
+// address the same trace.
+func (p Params) Normalized() Params { return p.normalized() }
 
 func (p Params) normalized() Params {
 	if p.Scale <= 0 {

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 
+	"vcache/internal/artifact"
 	"vcache/internal/core"
 	"vcache/internal/experiments"
 	"vcache/internal/memory"
@@ -137,6 +138,10 @@ type (
 	RunEvent = experiments.RunEvent
 	// ProgressFunc receives one RunEvent per completed suite simulation.
 	ProgressFunc = experiments.ProgressFunc
+	// ArtifactCache is the content-addressed on-disk cache for generated
+	// traces and simulation results; assign one to ExperimentSuite.Cache to
+	// make suite runs incremental across processes.
+	ArtifactCache = artifact.Cache
 )
 
 // ProgressWriter adapts an io.Writer to a ProgressFunc for
@@ -242,6 +247,15 @@ func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
 func NewExperimentSuite(p Params, subset []string) (*ExperimentSuite, error) {
 	return experiments.New(p, subset)
 }
+
+// OpenArtifactCache opens (creating if needed) the on-disk artifact cache
+// rooted at dir ("" = DefaultArtifactCacheDir). A nil *ArtifactCache is
+// valid everywhere one is accepted and disables caching.
+func OpenArtifactCache(dir string) (*ArtifactCache, error) { return artifact.Open(dir) }
+
+// DefaultArtifactCacheDir returns the cache directory used when none is
+// given: $VCACHE_DIR if set, else out/cache.
+func DefaultArtifactCacheDir() string { return artifact.DefaultDir() }
 
 // ExperimentIDs lists the regenerable tables and figures in paper order.
 func ExperimentIDs() []string { return experiments.Figures() }
