@@ -73,6 +73,7 @@ var apiGolden = []string{
 	"var DesignVCOptDSR",
 	"var ProgressWriter",
 	"var WithEventTrace",
+	"var WithIntraParallelism",
 	"var WithMetricsInterval",
 	"var WithMetricsSink",
 	"var WithMetricsSnapshot",

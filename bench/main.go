@@ -80,6 +80,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Intra-run scaling: one large simulation under the partitioned
+		// engine at several worker counts (clamped to GOMAXPROCS; on a
+		// single-core machine every point degenerates to the serial path).
+		err = runBench(&snap, []string{
+			"test", "-run", "^$", "-bench", "BenchmarkSingleRun",
+			"-benchtime", "1x", "-timeout", "60m", ".",
+		})
+		if err != nil {
+			fatal(err)
+		}
 		// The incremental-run numbers: the same full suite against an empty
 		// artifact cache (cold) and again against the populated one (warm).
 		if err := suiteCacheTimes(&snap); err != nil {

@@ -53,6 +53,7 @@ func main() {
 	warps := flag.Int("warps", 8, "warp contexts per CU")
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results are identical either way)")
+	intraParallel := flag.Int("intra-parallel", 0, "partitioned-engine worker threads inside each simulation (0 = auto split with -parallel; results are byte-identical at any value)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
 	metricsOut := flag.String("metrics", "", "dump every run's end-of-run metrics registry to this JSONL file")
@@ -80,6 +81,7 @@ func main() {
 		os.Exit(1)
 	}
 	suite.Workers = *parallel
+	suite.IntraWorkers = *intraParallel
 	if !*noCache {
 		suite.Cache, err = artifact.Open(*cacheDir)
 		if err != nil {

@@ -33,10 +33,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"vcache/internal/artifact"
 	"vcache/internal/core"
@@ -90,6 +92,7 @@ func main() {
 	iommubw := flag.Int("iommubw", -1, "override IOMMU lookups/cycle (0 = unlimited)")
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
+	intraParallel := flag.Int("intra-parallel", 1, "partitioned-engine worker threads inside each simulation (results are byte-identical at any value)")
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	metricsOut := flag.String("metrics", "", "stream interval metrics-registry snapshots to this JSONL file (one labeled record per interval per design)")
 	eventsOut := flag.String("events", "", "write cycle-stamped component events to this Chrome-trace file (one process per design)")
@@ -207,6 +210,8 @@ func main() {
 	// each run builds its own System, so runs are independent.
 	results := make([]core.Results, len(cfgs))
 	errs := make([]error, len(cfgs))
+	infos := make([]core.IntraInfo, len(cfgs))
+	live := make([]bool, len(cfgs))
 	workers := *parallel
 	if workers < 1 {
 		workers = 1
@@ -216,6 +221,7 @@ func main() {
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+	simStart := time.Now()
 	for i, cfg := range cfgs {
 		wg.Add(1)
 		go func(i int, cfg core.Config) {
@@ -233,28 +239,33 @@ func main() {
 				errs[i] = err
 				return
 			}
+			opts := []core.Option{core.WithIntraParallelism(*intraParallel)}
 			if procs[i] != nil {
-				sys.AttachTrace(procs[i])
+				// As an option (not AttachTrace) so the partitioned run
+				// serializes emitter writes to the shared trace file.
+				opts = append(opts, core.WithEventTrace(procs[i]))
 			}
-			var opts []core.Option
 			if *metricsOut != "" {
 				opts = append(opts, core.WithMetricsSnapshot(func(s obs.Snapshot) {
 					snaps[i] = append(snaps[i], s)
 				}))
 			}
 			results[i], errs[i] = sys.RunContext(context.Background(), tr, opts...)
+			infos[i], live[i] = sys.IntraInfo()
 			if useResultCache && errs[i] == nil {
 				cache.PutResults(artifact.ResultKey(traceKey, cfg), results[i])
 			}
 		}(i, cfg)
 	}
 	wg.Wait()
+	simWall := time.Since(simStart)
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	printSimSummary(os.Stderr, results, infos, live, simWall)
 
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, tr.Name, cfgs, snaps); err != nil {
@@ -291,6 +302,34 @@ func main() {
 	}
 	if *cacheStats && cache != nil {
 		fmt.Fprintf(os.Stderr, "cache %s: %s\n", cache.Dir(), cache.Stats())
+	}
+}
+
+// printSimSummary emits the one-line completion summary for the
+// simulations that ran live on the partitioned engine (cached results and
+// legacy -intra-parallel 0 runs report nothing). Written to stderr so
+// stdout stays byte-identical across worker counts and cache states.
+func printSimSummary(w io.Writer, results []core.Results, infos []core.IntraInfo, live []bool, wall time.Duration) {
+	var cycles, events uint64
+	n := 0
+	var ref core.IntraInfo
+	for i := range infos {
+		if !live[i] {
+			continue
+		}
+		n++
+		cycles += results[i].Cycles
+		events += infos[i].Events
+		ref = infos[i]
+	}
+	if n == 0 {
+		return
+	}
+	rate := float64(events) / wall.Seconds() / 1e6
+	fmt.Fprintf(w, "simulated %d run(s) in %.2fs: %d cycles, %d events (%.1fM events/s), %d partitions, window %d, %d worker(s)\n",
+		n, wall.Seconds(), cycles, events, rate, ref.Partitions, ref.Window, ref.Workers)
+	if ref.SerialReason != "" {
+		fmt.Fprintf(w, "note: worker count forced to 1: %s\n", ref.SerialReason)
 	}
 }
 

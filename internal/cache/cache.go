@@ -288,17 +288,19 @@ func (c *Cache) InvalidateLine(addr uint64) (bool, bool) {
 
 // InvalidatePage removes every line whose address falls in the 4KB page
 // containing pageAddr. It returns the number of lines invalidated.
+//
+// A page holds exactly LinesPerPage line addresses, so the page's lines
+// are found by probing each one directly instead of scanning every set —
+// LinesPerPage set lookups instead of sets x ways line inspections
+// (~500x fewer for the default L2 geometry).
 func (c *Cache) InvalidatePage(pageAddr uint64) int {
 	base := pageAddr &^ uint64(memory.PageSize-1)
 	n := 0
-	for si := range c.sets {
-		set := c.sets[si]
-		for i := range set {
-			if set[i].Valid && set[i].Addr&^uint64(memory.PageSize-1) == base {
-				c.stats.Invalidated++
-				c.evict(&set[i])
-				n++
-			}
+	for i := 0; i < memory.LinesPerPage; i++ {
+		if l := c.find(base + uint64(i*memory.LineSize)); l != nil {
+			c.stats.Invalidated++
+			c.evict(l)
+			n++
 		}
 	}
 	return n

@@ -33,6 +33,11 @@ func BenchmarkFillWithEviction(b *testing.B) {
 	}
 }
 
+// BenchmarkInvalidatePage measures one resident-page invalidation and
+// then absent-page probes (the page is gone after the first iteration) —
+// the same shape the set-scanning implementation was measured with
+// (~20.5µs/op on this 2MB/16-way geometry; the per-line probe path is
+// ~0.5µs).
 func BenchmarkInvalidatePage(b *testing.B) {
 	c := New(Config{SizeBytes: 2 << 20, LineBytes: 128, Assoc: 16, Policy: WriteBack})
 	for i := 0; i < memory.LinesPerPage; i++ {

@@ -23,7 +23,7 @@ const (
 	// whenever a change makes simulations produce different Results for an
 	// identical (trace, Config) pair — it is part of every result cache
 	// key, so stale entries stop matching.
-	SimVersion = 1
+	SimVersion = 2
 
 	// resultsCodecVersion is the wire-format version of EncodeResults.
 	resultsCodecVersion = 1

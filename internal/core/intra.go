@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vcache/internal/noc"
+	"vcache/internal/sim"
+	"vcache/internal/trace"
+)
+
+// Intra-run parallelism: the partitioned event engine.
+//
+// WithIntraParallelism splits a system into NumCUs+1 partitions — one per
+// CU front end (warps, coalescer, L1, per-CU TLBs, invalidation filter,
+// remap table) plus one shared back end (L2 and banks, IOMMU, FBT, page
+// walker, DRAM, the NoC servers, and the GPU's warp-global coordinator) —
+// each with its own calendar-queue engine, driven through conservative
+// cycle windows by sim.Partitioned. The window width (lookahead) is the
+// minimum latency of the two routes that cross the partition boundary,
+// CU<->L2 and CU<->IOMMU, so no cross-partition message can land inside
+// the window it was sent from.
+//
+// Cross-partition traffic goes through sendToBackend/sendToCU, which
+// degrade to plain noc sends in legacy mode; Link message counts are
+// accumulated per partition and folded into the shared Link structs only
+// at barriers, so snapshots see the usual NoC totals without the workers
+// ever sharing a counter. The resulting schedule is a pure function of
+// the configuration: byte-identical results and metrics for every worker
+// count, including one. It is, however, a different (window-granular)
+// schedule than the legacy single-engine run, which remains the default.
+type intraState struct {
+	part    *sim.Partitioned
+	engines []*sim.Engine // engines[0] == System.eng (the shared backend)
+
+	// routeMsgs defers per-partition NoC message counts for the two
+	// boundary routes ([partition][routeIdx]); flushRouteCounts folds them
+	// into the Link structs between windows.
+	routeMsgs [][2]uint64
+
+	// serialReason is non-empty when the configuration cannot be executed
+	// on more than one worker (the canonical schedule still runs).
+	serialReason string
+}
+
+// intraRoutes are the partition-boundary routes, indexed by routeIdx.
+var intraRoutes = [2]noc.Route{noc.CUToL2, noc.CUToIOMMU}
+
+func routeIdx(r noc.Route) int {
+	if r == noc.CUToIOMMU {
+		return 1
+	}
+	return 0
+}
+
+// IntraInfo describes a partitioned run (System.IntraInfo).
+type IntraInfo struct {
+	Partitions int    // partition count (CUs + shared backend)
+	Workers    int    // resolved worker threads
+	Window     uint64 // conservative window width in cycles (the lookahead)
+	Windows    uint64 // synchronization windows executed
+	Crossings  uint64 // cross-partition messages delivered
+	Events     uint64 // events fired across all partition engines
+	// SerialReason is non-empty when the configuration forced the worker
+	// count to 1 (e.g. ProbeResidency reads shared caches from CU paths).
+	SerialReason string
+}
+
+// IntraInfo reports the partitioned-engine statistics of the last
+// WithIntraParallelism run; ok is false for legacy (single-engine) runs.
+func (s *System) IntraInfo() (info IntraInfo, ok bool) {
+	st := s.intra
+	if st == nil {
+		return IntraInfo{}, false
+	}
+	return IntraInfo{
+		Partitions:   len(st.engines),
+		Workers:      st.part.Workers(),
+		Window:       st.part.Lookahead(),
+		Windows:      st.part.Windows(),
+		Crossings:    st.part.Crossings(),
+		Events:       s.totalFired(),
+		SerialReason: st.serialReason,
+	}, true
+}
+
+// cuEng returns the engine that owns cu's front-end events: the CU's
+// partition engine in a partitioned run, the global engine otherwise.
+func (s *System) cuEng(cu int) *sim.Engine {
+	if s.intra == nil {
+		return s.eng
+	}
+	return s.intra.engines[cu+1]
+}
+
+// sendToBackend delivers fn on the backend partition after the route's
+// latency. Legacy mode degrades to a plain NoC send. Must be called from
+// the CU's own partition.
+func (s *System) sendToBackend(cu int, r noc.Route, fn func()) {
+	st := s.intra
+	if st == nil {
+		s.net.Send(r, fn)
+		return
+	}
+	st.routeMsgs[cu+1][routeIdx(r)]++
+	st.part.Send(cu+1, 0, s.net.Latency(r), fn)
+}
+
+// sendToCU delivers fn on cu's partition after the route's latency.
+// Legacy mode degrades to a plain NoC send. Must be called from the
+// backend partition.
+func (s *System) sendToCU(cu int, r noc.Route, fn func()) {
+	st := s.intra
+	if st == nil {
+		s.net.Send(r, fn)
+		return
+	}
+	st.routeMsgs[0][routeIdx(r)]++
+	st.part.Send(0, cu+1, s.net.Latency(r), fn)
+}
+
+// completeAtCU runs fn on cu's partition from backend code that in the
+// legacy engine completed synchronously (e.g. a permission fault detected
+// at the L2): direct call in legacy mode, a response message over the GPU
+// network in a partitioned run.
+func (s *System) completeAtCU(cu int, fn func()) {
+	st := s.intra
+	if st == nil {
+		fn()
+		return
+	}
+	st.routeMsgs[0][0]++
+	st.part.Send(0, cu+1, s.net.Latency(noc.CUToL2), fn)
+}
+
+// flushRouteCounts folds the deferred per-partition NoC message counts
+// into the shared Link structs. Called at window barriers and at end of
+// run, where all workers are quiescent.
+func (s *System) flushRouteCounts() {
+	st := s.intra
+	if st == nil {
+		return
+	}
+	for p := range st.routeMsgs {
+		for ri := range st.routeMsgs[p] {
+			n := st.routeMsgs[p][ri]
+			if n == 0 {
+				continue
+			}
+			st.routeMsgs[p][ri] = 0
+			if l := s.net.Link(intraRoutes[ri]); l != nil {
+				l.Messages += n
+			}
+		}
+	}
+}
+
+// intraSerialReason reports why this run must execute its canonical
+// schedule on a single worker ("" = parallel-safe). These paths read or
+// write state across the partition boundary synchronously, which is
+// deterministic on one worker but racy on several.
+func (s *System) intraSerialReason(lookahead uint64, traced bool) string {
+	switch {
+	case s.cfg.ProbeResidency:
+		return "probe-residency classification reads shared caches on CU TLB misses"
+	case s.cfg.GPU.BlockOnStore:
+		return "block-on-store retires warps from backend store completions"
+	case lookahead == 0:
+		return "zero-latency interconnect leaves no conservative lookahead"
+	case traced:
+		return "event tracing serializes writes to the shared sink"
+	}
+	return ""
+}
+
+// enableIntra partitions the system for a WithIntraParallelism run: one
+// engine per CU front end plus the existing engine as the shared backend,
+// clocks rebound, the GPU's coordinator protocol switched to messages,
+// and the partition runner built with the NoC-derived lookahead.
+func (s *System) enableIntra(req int, traced bool) {
+	n := s.cfg.GPU.NumCUs + 1
+	engines := make([]*sim.Engine, n)
+	engines[0] = s.eng
+	for i := 1; i < n; i++ {
+		engines[i] = sim.New()
+	}
+	lookahead := s.net.MinLatency(noc.CUToL2, noc.CUToIOMMU)
+	reason := s.intraSerialReason(lookahead, traced)
+	workers := req
+	if reason != "" {
+		workers = 1
+	}
+	part := sim.NewPartitioned(engines, lookahead, workers)
+	s.intra = &intraState{
+		part:         part,
+		engines:      engines,
+		routeMsgs:    make([][2]uint64, n),
+		serialReason: reason,
+	}
+
+	// Front-end components now tell time by their partition's clock.
+	for cu := range s.l1s {
+		e := engines[cu+1]
+		s.l1s[cu].Clock = e.Now
+		s.cuTLBs[cu].Clock = e.Now
+		if len(s.cuTLB2s) > 0 {
+			s.cuTLB2s[cu].Clock = e.Now
+		}
+	}
+
+	// Warp-global coordination (barrier rendezvous, retirement) stays on
+	// the backend engine and is reached over the GPU network.
+	coordLat := s.net.Latency(noc.CUToL2)
+	s.gpu.Partition(
+		func(cu int) *sim.Engine { return engines[cu+1] },
+		func(cu int, fn func()) { part.Send(cu+1, 0, coordLat, fn) },
+		func(cu int, fn func()) { part.Send(0, cu+1, coordLat, fn) },
+	)
+
+	s.reg.Gauge("sim.windows", func() float64 { return float64(part.Windows()) })
+	s.reg.Gauge("sim.mailbox.crossings", func() float64 { return float64(part.Crossings()) })
+	for i := range engines {
+		e := engines[i]
+		s.reg.Gauge(fmt.Sprintf("sim.partition.p%d.fired", i), func() float64 { return float64(e.Fired()) })
+	}
+}
+
+// runIntra is RunContext's partitioned-engine body: identical
+// preparation, but execution proceeds in conservative windows with
+// cancellation, metrics snapshots, and progress serviced at barriers.
+func (s *System) runIntra(ctx context.Context, tr *trace.Trace, o *options) (Results, error) {
+	s.contextSwitch(tr.ASID)
+	s.Prepare(tr)
+	s.enableIntra(o.intra, o.events != nil)
+	if o.events != nil {
+		// Re-attach so each emitter stamps with its partition's clock.
+		s.AttachTrace(o.events)
+	}
+	completed := false
+	s.gpu.Launch(tr, func() {
+		completed = true
+		s.finishCycle = s.eng.Now()
+	})
+
+	interval := o.metricsInterval
+	if interval == 0 {
+		interval = defaultMetricsInterval
+	}
+	nextSnap := interval
+	var lastProgress uint64
+	var err error
+	onWindow := func(limit uint64) bool {
+		if e := ctx.Err(); e != nil {
+			err = e
+			return false
+		}
+		if o.wantsMetrics() && limit >= nextSnap {
+			s.flushRouteCounts()
+			s.emitSnapshot(o)
+			for nextSnap <= limit {
+				nextSnap += interval
+			}
+		}
+		if o.progress != nil {
+			if f := s.totalFired(); f-lastProgress >= 1<<16 {
+				lastProgress = f
+				o.progress(Progress{Cycle: limit, Events: f})
+			}
+		}
+		return true
+	}
+	s.intra.part.Run(onWindow)
+	s.flushRouteCounts()
+	if err != nil {
+		return Results{}, err
+	}
+	if !completed {
+		return Results{}, ErrDeadlock
+	}
+	s.io.ExtendSampling()
+	res := s.results(tr)
+	if o.wantsMetrics() {
+		s.emitSnapshot(o)
+	}
+	return res, o.sinkErr
+}

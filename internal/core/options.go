@@ -23,6 +23,7 @@ type options struct {
 	snapshot        func(obs.Snapshot)
 	events          obs.EventSink
 	progress        func(Progress)
+	intra           int // partitioned-engine worker request (0 = legacy engine)
 
 	sinkErr error // first metrics-sink write failure
 }
@@ -71,4 +72,22 @@ func WithEventTrace(sink obs.EventSink) Option {
 // reporting on long runs; the callback must not mutate the system.
 func WithProgress(fn func(Progress)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// WithIntraParallelism runs the simulation on the partitioned event
+// engine with up to n worker threads: each CU's front end (warps,
+// coalescer, L1, per-CU TLBs) becomes its own partition, the shared
+// back end (L2, IOMMU, FBT, page walker, DRAM) another, synchronized at
+// conservative cycle windows sized by the minimum cross-partition NoC
+// latency. The partitioned schedule is a pure function of the
+// configuration: results and metrics are byte-identical for every n >= 1,
+// so n only trades wall-clock time. n is clamped to the partition count
+// and GOMAXPROCS; configurations the partitioner cannot split safely
+// (see System.IntraInfo) run the same schedule on one worker.
+//
+// n = 1 selects the partitioned schedule serially; 0 (the default, i.e.
+// the option absent) keeps the legacy single-engine schedule, which
+// remains cycle-for-cycle identical to System.Run.
+func WithIntraParallelism(n int) Option {
+	return func(o *options) { o.intra = n }
 }

@@ -77,10 +77,10 @@ func (s *System) lineReady(key uint64, perm memory.Perm, filled bool) {
 // outstanding request. The continuation receives the PTE or fault=true.
 func (s *System) translatePerCU(cu int, va memory.VAddr, write bool, k func(pte memory.PTE, fault bool)) {
 	vpn := va.Page()
-	s.eng.Schedule(s.cfg.Lat.PerCUTLB, func() {
+	s.cuEng(cu).Schedule(s.cfg.Lat.PerCUTLB, func() {
 		if e, ok := s.cuTLBs[cu].Lookup(s.asid, vpn); ok {
 			if !e.Perm.Allows(write) {
-				s.fault("perm", &s.faults.PermFaults)
+				s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 				k(memory.PTE{}, true)
 				return
 			}
@@ -89,10 +89,10 @@ func (s *System) translatePerCU(cu int, va memory.VAddr, write bool, k func(pte 
 		}
 		// Optional private second-level TLB (§3.2 multi-level alternative).
 		if len(s.cuTLB2s) > 0 {
-			s.eng.Schedule(s.cfg.PerCUTLB2Latency, func() {
+			s.cuEng(cu).Schedule(s.cfg.PerCUTLB2Latency, func() {
 				if e, ok := s.cuTLB2s[cu].Lookup(s.asid, vpn); ok {
 					if !e.Perm.Allows(write) {
-						s.fault("perm", &s.faults.PermFaults)
+						s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 						k(memory.PTE{}, true)
 						return
 					}
@@ -119,11 +119,12 @@ func (s *System) missToIOMMU(cu int, va memory.VAddr, vpn memory.VPN, write bool
 		s.classifyTLBMiss(cu, va)
 	}
 	if list, outstanding := s.tlbPending[cu][vpn]; outstanding {
-		s.tlbMerges++
+		st := &s.cuStats[cu]
+		st.tlbMerges++
 		if list == nil {
-			if n := len(s.tlbWaitPool); n > 0 {
-				list = s.tlbWaitPool[n-1]
-				s.tlbWaitPool = s.tlbWaitPool[:n-1]
+			if n := len(st.waitPool); n > 0 {
+				list = st.waitPool[n-1]
+				st.waitPool = st.waitPool[:n-1]
 			} else {
 				list = make([]func(memory.PTE, bool), 0, 8)
 			}
@@ -132,9 +133,9 @@ func (s *System) missToIOMMU(cu int, va memory.VAddr, vpn memory.VPN, write bool
 		return
 	}
 	s.tlbPending[cu][vpn] = nil
-	s.net.Send(noc.CUToIOMMU, func() {
+	s.sendToBackend(cu, noc.CUToIOMMU, func() {
 		s.io.Translate(s.asid, vpn, func(r iommu.Result) {
-			s.net.Send(noc.CUToIOMMU, func() {
+			s.sendToCU(cu, noc.CUToIOMMU, func() {
 				if !r.Fault {
 					if r.PTE.Large {
 						bv, bp := memory.LargeBase(vpn, r.PTE.PPN)
@@ -151,31 +152,32 @@ func (s *System) missToIOMMU(cu int, va memory.VAddr, vpn memory.VPN, write bool
 				}
 				waiters := s.tlbPending[cu][vpn]
 				delete(s.tlbPending[cu], vpn)
-				s.deliverTranslation(r, write, k)
+				s.deliverTranslation(cu, r, write, k)
 				for _, w := range waiters {
 					// Merged requests are loads/stores of the same
 					// page; permission intent travels with each.
-					s.deliverTranslation(r, write, w)
+					s.deliverTranslation(cu, r, write, w)
 				}
 				if waiters != nil {
 					for i := range waiters {
 						waiters[i] = nil
 					}
-					s.tlbWaitPool = append(s.tlbWaitPool, waiters[:0])
+					st := &s.cuStats[cu]
+					st.waitPool = append(st.waitPool, waiters[:0])
 				}
 			})
 		})
 	})
 }
 
-func (s *System) deliverTranslation(r iommu.Result, write bool, k func(memory.PTE, bool)) {
+func (s *System) deliverTranslation(cu int, r iommu.Result, write bool, k func(memory.PTE, bool)) {
 	if r.Fault {
-		s.fault("page", &s.faults.PageFaults)
+		s.fault("page", &s.cuStats[cu].faults.PageFaults)
 		k(memory.PTE{}, true)
 		return
 	}
 	if !r.PTE.Perm.Allows(write) {
-		s.fault("perm", &s.faults.PermFaults)
+		s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 		k(memory.PTE{}, true)
 		return
 	}
@@ -218,12 +220,12 @@ func (s *System) l2Bank(addr uint64, fn func()) {
 func (s *System) accessIdeal(cu int, va memory.VAddr, write bool, done func()) {
 	pa, perm, ok := s.as.Translate(va)
 	if !ok {
-		s.fault("page", &s.faults.PageFaults)
+		s.fault("page", &s.cuStats[cu].faults.PageFaults)
 		done()
 		return
 	}
 	if !perm.Allows(write) {
-		s.fault("perm", &s.faults.PermFaults)
+		s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 		done()
 		return
 	}
@@ -249,11 +251,11 @@ func (s *System) accessPhysical(cu int, va memory.VAddr, write bool, done func()
 func (s *System) physCacheAccess(cu int, pa memory.PAddr, write bool, done func()) {
 	addr := uint64(pa)
 	const physPerm = memory.PermRead | memory.PermWrite
-	s.eng.Schedule(s.cfg.Lat.L1Hit, func() {
+	s.cuEng(cu).Schedule(s.cfg.Lat.L1Hit, func() {
 		l1 := s.l1s[cu]
 		if write {
 			l1.Access(addr, true) // update on hit; write-through, no allocate
-			s.net.Send(noc.CUToL2, func() {
+			s.sendToBackend(cu, noc.CUToL2, func() {
 				s.l2Bank(addr, func() {
 					if _, hit := s.l2.Access(addr, true); hit {
 						done()
@@ -280,12 +282,12 @@ func (s *System) physCacheAccess(cu int, pa memory.PAddr, write bool, done func(
 			return
 		}
 		deliver := func(memory.Perm, bool) {
-			s.net.Send(noc.CUToL2, func() {
+			s.sendToCU(cu, noc.CUToL2, func() {
 				l1.Fill(addr, physPerm, s.asid, false)
 				done()
 			})
 		}
-		s.net.Send(noc.CUToL2, func() {
+		s.sendToBackend(cu, noc.CUToL2, func() {
 			s.l2Bank(addr, func() {
 				if _, hit := s.l2.Access(addr, false); hit {
 					deliver(physPerm, true)
@@ -315,30 +317,30 @@ func (s *System) accessVirtual(cu int, va memory.VAddr, write bool, done func())
 	// access (no latency cost).
 	if s.cfg.DynamicSynonymRemap {
 		if lead, ok := s.remaps[cu].get(line.Page()); ok {
-			s.remapHits++
+			s.cuStats[cu].remapHits++
 			line = lead.Base() + memory.VAddr(line.Offset())
 		}
 	}
-	s.eng.Schedule(s.cfg.Lat.L1Hit, func() {
+	s.cuEng(cu).Schedule(s.cfg.Lat.L1Hit, func() {
 		l1 := s.l1s[cu]
 		if write {
 			if l, hit := l1.Access(s.vkey(line), true); hit && !l.Perm.Allows(true) {
-				s.fault("perm", &s.faults.PermFaults)
+				s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 				done()
 				return
 			}
 			// Write-through: the store always proceeds to the L2.
-			s.net.Send(noc.CUToL2, func() { s.vcL2Write(cu, line, done) })
+			s.sendToBackend(cu, noc.CUToL2, func() { s.vcL2Write(cu, line, done) })
 			return
 		}
 		if l, hit := l1.Access(s.vkey(line), false); hit {
 			if !l.Perm.Allows(false) {
-				s.fault("perm", &s.faults.PermFaults)
+				s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 			}
 			done()
 			return
 		}
-		s.net.Send(noc.CUToL2, func() { s.vcL2Read(cu, line, done) })
+		s.sendToBackend(cu, noc.CUToL2, func() { s.vcL2Read(cu, line, done) })
 	})
 }
 
@@ -348,17 +350,18 @@ func (s *System) vcL2Read(cu int, line memory.VAddr, done func()) {
 		if l, hit := s.l2.Access(key, false); hit {
 			if !l.Perm.Allows(false) {
 				s.fault("perm", &s.faults.PermFaults)
-				done()
+				// done touches warp state: complete it on the CU side.
+				s.completeAtCU(cu, done)
 				return
 			}
-			s.net.Send(noc.CUToL2, func() {
+			s.sendToCU(cu, noc.CUToL2, func() {
 				s.fillL1(cu, line, l.Perm)
 				done()
 			})
 			return
 		}
 		s.fetchLine(key, func(perm memory.Perm, filled bool) {
-			s.net.Send(noc.CUToL2, func() {
+			s.sendToCU(cu, noc.CUToL2, func() {
 				if filled {
 					s.fillL1(cu, line, perm)
 				}
@@ -429,7 +432,16 @@ func (s *System) vcMissResolve(cu int, line memory.VAddr, write bool) {
 				case fbt.Synonym:
 					s.synonymReplays++
 					if s.cfg.DynamicSynonymRemap {
-						s.remaps[cu].put(line.Page(), view.LVPN)
+						if s.intra != nil {
+							// The remap table is front-end state; the
+							// update rides a message back to the CU.
+							vpn := line.Page()
+							s.sendToCU(cu, noc.CUToL2, func() {
+								s.remaps[cu].put(vpn, view.LVPN)
+							})
+						} else {
+							s.remaps[cu].put(line.Page(), view.LVPN)
+						}
 					}
 					lline := view.LVPN.Base() + memory.VAddr(line.Offset())
 					s.replaySynonym(lline, view, key)
@@ -497,11 +509,11 @@ func (s *System) fillL1(cu int, line memory.VAddr, perm memory.Perm) {
 func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) {
 	line := va.Line()
 	const physPerm = memory.PermRead | memory.PermWrite
-	s.eng.Schedule(s.cfg.Lat.L1Hit, func() {
+	s.cuEng(cu).Schedule(s.cfg.Lat.L1Hit, func() {
 		l1 := s.l1s[cu]
 		if write {
 			if l, hit := l1.Access(s.vkey(line), true); hit && !l.Perm.Allows(true) {
-				s.fault("perm", &s.faults.PermFaults)
+				s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 				done()
 				return
 			}
@@ -511,7 +523,7 @@ func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) 
 					return
 				}
 				pa := uint64(pte.PPN.Base() + memory.PAddr(line.Offset()))
-				s.net.Send(noc.CUToL2, func() {
+				s.sendToBackend(cu, noc.CUToL2, func() {
 					s.l2Bank(pa, func() {
 						if _, hit := s.l2.Access(pa, true); hit {
 							done()
@@ -534,7 +546,7 @@ func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) 
 		}
 		if l, hit := l1.Access(s.vkey(line), false); hit {
 			if !l.Perm.Allows(false) {
-				s.fault("perm", &s.faults.PermFaults)
+				s.fault("perm", &s.cuStats[cu].faults.PermFaults)
 			}
 			done()
 			return
@@ -546,12 +558,12 @@ func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) 
 			}
 			pa := uint64(pte.PPN.Base() + memory.PAddr(line.Offset()))
 			deliver := func(memory.Perm, bool) {
-				s.net.Send(noc.CUToL2, func() {
+				s.sendToCU(cu, noc.CUToL2, func() {
 					s.fillL1(cu, line, pte.Perm)
 					done()
 				})
 			}
-			s.net.Send(noc.CUToL2, func() {
+			s.sendToBackend(cu, noc.CUToL2, func() {
 				s.l2Bank(pa, func() {
 					if _, hit := s.l2.Access(pa, false); hit {
 						deliver(pte.Perm, true)

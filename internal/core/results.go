@@ -102,12 +102,31 @@ func (s *System) results(tr *trace.Trace) Results {
 		Faults:   s.faults,
 
 		SynonymReplays: s.synonymReplays,
-		RemapHits:      s.remapHits,
-		L1FullFlushes:  s.l1FullFlushes,
 		FBTInvalLines:  s.fbtInvalLines,
-		TLBMerges:      s.tlbMerges,
 		LineMerges:     s.lineMerges,
-		Lifetimes:      s.lifetimes,
+	}
+	// Merge the per-CU counter slots in index order (deterministic at any
+	// partition/worker count; the totals match the pre-partitioning
+	// globals).
+	for i := range s.cuStats {
+		st := &s.cuStats[i]
+		r.Faults.PageFaults += st.faults.PageFaults
+		r.Faults.PermFaults += st.faults.PermFaults
+		r.Faults.RWSynonym += st.faults.RWSynonym
+		r.RemapHits += st.remapHits
+		r.L1FullFlushes += st.l1FullFlushes
+		r.TLBMerges += st.tlbMerges
+	}
+	if s.lifetimes != nil {
+		for i := range s.cuStats {
+			for _, v := range s.cuStats[i].tlbLife.Values() {
+				s.lifetimes.TLBEntries.Add(v)
+			}
+			for _, v := range s.cuStats[i].l1Life.Values() {
+				s.lifetimes.L1Data.Add(v)
+			}
+		}
+		r.Lifetimes = s.lifetimes
 	}
 	r.IOMMURate = s.io.Sampler().Summary()
 	r.IOMMUFracAbove1 = s.io.Sampler().FractionAbove(1)

@@ -81,29 +81,47 @@ type System struct {
 	asid memory.ASID
 
 	probe     ProbeBreakdown
-	faults    FaultCounts
-	lifetimes *Lifetimes
+	faults    FaultCounts // backend-side faults; per-CU faults live in cuStats
+	lifetimes *Lifetimes  // backend L2 CDF during the run; merged in results()
+
+	// cuStats holds every counter a CU front end increments on its own:
+	// one slot per CU so a partitioned run never shares a counter (or a
+	// waiter-list pool) between workers. Legacy runs use the same slots
+	// and sum them at results time, so totals are unchanged.
+	cuStats []cuCounters
 
 	// tlbPending merges concurrent same-page TLB misses per CU; l2Pending
-	// merges concurrent misses to the same line (MSHR behaviour). The two
+	// merges concurrent misses to the same line (MSHR behaviour). The
 	// pools recycle drained waiter lists so steady-state miss merging does
 	// not allocate.
-	tlbPending  []map[memory.VPN][]func(memory.PTE, bool)
-	l2Pending   map[uint64][]lineWaiter
-	linePool    [][]lineWaiter
-	tlbWaitPool [][]func(memory.PTE, bool)
-	tlbMerges   uint64
-	lineMerges  uint64
+	tlbPending []map[memory.VPN][]func(memory.PTE, bool)
+	l2Pending  map[uint64][]lineWaiter
+	linePool   [][]lineWaiter
+	lineMerges uint64
 
 	synonymReplays uint64
-	remapHits      uint64 // synonym accesses redirected by remap tables
-	l1FullFlushes  uint64 // conservative whole-L1 invalidations
 	fbtInvalLines  uint64 // L2 lines invalidated on FBT eviction/shootdown
 	l2PagePeak     int    // max distinct pages seen in L2 (sampled on fills)
 	fillsSincePage int
 	finishCycle    uint64 // cycle the last warp retired
 
+	intra *intraState // non-nil once enableIntra has partitioned the run
+
 	reg *obs.Registry
+}
+
+// cuCounters is the per-CU slice of formerly-global bookkeeping: faults,
+// miss-merge and remap counters, lifetime CDFs, and the TLB waiter-list
+// pool. Everything here is touched only by the owning CU's front end, so
+// in a partitioned run each slot belongs to exactly one worker.
+type cuCounters struct {
+	faults        FaultCounts
+	tlbMerges     uint64
+	remapHits     uint64
+	l1FullFlushes uint64
+	tlbLife       stats.CDF // per-CU TLB entry residence (TrackLifetimes)
+	l1Life        stats.CDF // L1 line active lifetime (TrackLifetimes)
+	waitPool      [][]func(memory.PTE, bool)
 }
 
 // New assembles a system from cfg. An invalid configuration returns a
@@ -142,6 +160,7 @@ func New(cfg Config) (*System, error) {
 
 	// Per-CU L1s, TLBs, invalidation filters, and TLB-miss MSHRs.
 	s.l2Pending = make(map[uint64][]lineWaiter)
+	s.cuStats = make([]cuCounters, cfg.GPU.NumCUs)
 	for i := 0; i < cfg.GPU.NumCUs; i++ {
 		l1 := cache.New(cfg.L1)
 		l1.Clock = eng.Now
@@ -178,9 +197,10 @@ func New(cfg Config) (*System, error) {
 
 	if cfg.TrackLifetimes {
 		s.lifetimes = &Lifetimes{}
-		for _, t := range s.cuTLBs {
+		for cu, t := range s.cuTLBs {
+			cu := cu
 			t.OnEvict = func(e tlb.Entry, life uint64) {
-				s.lifetimes.TLBEntries.Add(float64(life))
+				s.cuStats[cu].tlbLife.Add(float64(life))
 			}
 		}
 	}
@@ -209,9 +229,9 @@ func (s *System) buildRegistry() {
 	r := obs.NewRegistry()
 	s.reg = r
 
-	r.Gauge("sim.cycles", func() float64 { return float64(s.eng.Now()) })
-	r.Gauge("sim.fired", func() float64 { return float64(s.eng.Fired()) })
-	r.Gauge("sim.pending", func() float64 { return float64(s.eng.Pending()) })
+	r.Gauge("sim.cycles", func() float64 { return float64(s.simNow()) })
+	r.Gauge("sim.fired", func() float64 { return float64(s.totalFired()) })
+	r.Gauge("sim.pending", func() float64 { return float64(s.totalPending()) })
 
 	s.gpu.Observe(r.Scope("gpu"))
 	s.mem.Observe(r.Scope("dram"))
@@ -233,16 +253,74 @@ func (s *System) buildRegistry() {
 		s.fbt.Observe(r.Scope("fbt"))
 	}
 
+	// Per-CU counters are summed at snapshot time (gauges), so the
+	// exported names and values match the pre-partitioning registry.
+	sumCU := func(f func(*cuCounters) uint64) func() float64 {
+		return func() float64 {
+			var t uint64
+			for i := range s.cuStats {
+				t += f(&s.cuStats[i])
+			}
+			return float64(t)
+		}
+	}
 	c := r.Scope("core")
 	c.Counter("synonym_replays", &s.synonymReplays)
-	c.Counter("remap_hits", &s.remapHits)
-	c.Counter("l1_full_flushes", &s.l1FullFlushes)
+	c.Gauge("remap_hits", sumCU(func(c *cuCounters) uint64 { return c.remapHits }))
+	c.Gauge("l1_full_flushes", sumCU(func(c *cuCounters) uint64 { return c.l1FullFlushes }))
 	c.Counter("fbt_inval_lines", &s.fbtInvalLines)
-	c.Counter("tlb_merges", &s.tlbMerges)
+	c.Gauge("tlb_merges", sumCU(func(c *cuCounters) uint64 { return c.tlbMerges }))
 	c.Counter("line_merges", &s.lineMerges)
-	c.Counter("faults.page", &s.faults.PageFaults)
-	c.Counter("faults.perm", &s.faults.PermFaults)
-	c.Counter("faults.rw_synonym", &s.faults.RWSynonym)
+	c.Gauge("faults.page", func() float64 {
+		return float64(s.faults.PageFaults) + sumCU(func(c *cuCounters) uint64 { return c.faults.PageFaults })()
+	})
+	c.Gauge("faults.perm", func() float64 {
+		return float64(s.faults.PermFaults) + sumCU(func(c *cuCounters) uint64 { return c.faults.PermFaults })()
+	})
+	c.Gauge("faults.rw_synonym", func() float64 {
+		return float64(s.faults.RWSynonym) + sumCU(func(c *cuCounters) uint64 { return c.faults.RWSynonym })()
+	})
+}
+
+// simNow returns the simulation clock: the legacy engine's clock, or in a
+// partitioned run the furthest-ahead partition (at window barriers all
+// partitions agree).
+func (s *System) simNow() uint64 {
+	if s.intra == nil {
+		return s.eng.Now()
+	}
+	var max uint64
+	for _, e := range s.intra.engines {
+		if n := e.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// totalFired returns events executed across all engines.
+func (s *System) totalFired() uint64 {
+	if s.intra == nil {
+		return s.eng.Fired()
+	}
+	var t uint64
+	for _, e := range s.intra.engines {
+		t += e.Fired()
+	}
+	return t
+}
+
+// totalPending returns queued events across all engines (cross-partition
+// messages still in mailboxes are not counted).
+func (s *System) totalPending() int {
+	if s.intra == nil {
+		return s.eng.Pending()
+	}
+	t := 0
+	for _, e := range s.intra.engines {
+		t += e.Pending()
+	}
+	return t
 }
 
 // Metrics exposes the system's metrics registry: every component's live
@@ -250,26 +328,27 @@ func (s *System) buildRegistry() {
 func (s *System) Metrics() *obs.Registry { return s.reg }
 
 // AttachTrace points every component event emitter at sink, stamping
-// events with the engine clock. Passing nil detaches them, restoring the
-// free disabled path.
+// events with the owning engine's clock (the per-CU partition clocks in a
+// partitioned run). Passing nil detaches them, restoring the free
+// disabled path.
 func (s *System) AttachTrace(sink obs.EventSink) {
-	emitter := func(comp string) *obs.Emitter {
+	emitter := func(comp string, clock func() uint64) *obs.Emitter {
 		if sink == nil {
 			return nil
 		}
-		return obs.NewEmitter(sink, comp, s.eng.Now)
+		return obs.NewEmitter(sink, comp, clock)
 	}
-	s.io.Trace = emitter("iommu")
-	s.io.TLB().Trace = emitter("iommu.tlb")
-	s.walker.Trace = emitter("ptw")
+	s.io.Trace = emitter("iommu", s.eng.Now)
+	s.io.TLB().Trace = emitter("iommu.tlb", s.eng.Now)
+	s.walker.Trace = emitter("ptw", s.eng.Now)
 	if s.fbt != nil {
-		s.fbt.Trace = emitter("fbt")
+		s.fbt.Trace = emitter("fbt", s.eng.Now)
 	}
 	for i := range s.cuTLBs {
-		s.cuTLBs[i].Trace = emitter(fmt.Sprintf("tlb.cu%d", i))
+		s.cuTLBs[i].Trace = emitter(fmt.Sprintf("tlb.cu%d", i), s.cuEng(i).Now)
 	}
 	for i := range s.cuTLB2s {
-		s.cuTLB2s[i].Trace = emitter(fmt.Sprintf("tlb2.cu%d", i))
+		s.cuTLB2s[i].Trace = emitter(fmt.Sprintf("tlb2.cu%d", i), s.cuEng(i).Now)
 	}
 }
 
@@ -403,6 +482,10 @@ func (s *System) Run(tr *trace.Trace) Results {
 // ctx.Err(). With no options the simulation is cycle-for-cycle identical
 // to Run: events execute one Step at a time in the same order, and the
 // clock never advances past the last real event.
+//
+// WithIntraParallelism selects the partitioned engine instead: a
+// different but equally deterministic schedule, byte-identical for every
+// worker count (see intra.go).
 func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option) (Results, error) {
 	var o options
 	for _, opt := range opts {
@@ -410,6 +493,9 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option
 	}
 	if o.events != nil {
 		s.AttachTrace(o.events)
+	}
+	if o.intra > 0 {
+		return s.runIntra(ctx, tr, &o)
 	}
 
 	s.contextSwitch(tr.ASID)
@@ -471,7 +557,7 @@ func (s *System) scheduleSnapshots(o *options) {
 
 // emitSnapshot reads the registry once and feeds every attached consumer.
 func (s *System) emitSnapshot(o *options) {
-	snap := s.reg.Snapshot(s.eng.Now())
+	snap := s.reg.Snapshot(s.simNow())
 	if o.snapshot != nil {
 		o.snapshot(snap)
 	}
@@ -493,7 +579,7 @@ func (s *System) onL1Evict(cu int, l cache.Line) {
 		}
 	}
 	if s.lifetimes != nil {
-		s.lifetimes.L1Data.Add(float64(l.ActiveLifetime()))
+		s.cuStats[cu].l1Life.Add(float64(l.ActiveLifetime()))
 	}
 	// Write-through L1s never hold dirty data; nothing to write back.
 }
@@ -546,6 +632,20 @@ func (s *System) onFBTEvict(v fbt.View) {
 			}
 		}
 	}
+	if s.intra != nil {
+		// Partitioned run: filters and L1s are front-end state, so the
+		// flush decision and the flush itself travel to each CU as a
+		// cross-partition message over the GPU network.
+		for cu := range s.l1s {
+			cu := cu
+			s.sendToCU(cu, noc.CUToL2, func() {
+				if !s.cfg.InvFilter || s.filters[cu][v.LVPN] > 0 {
+					s.flushL1(cu)
+				}
+			})
+		}
+		return
+	}
 	if !s.cfg.InvFilter {
 		// Without filters every L1 must flush.
 		for cu := range s.l1s {
@@ -564,7 +664,7 @@ func (s *System) flushL1(cu int) {
 	if s.l1s[cu].Resident() == 0 {
 		return
 	}
-	s.l1FullFlushes++
+	s.cuStats[cu].l1FullFlushes++
 	s.l1s[cu].InvalidateAll()
 	s.filters[cu] = make(map[memory.VPN]int)
 }

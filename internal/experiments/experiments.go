@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -69,9 +70,16 @@ type Suite struct {
 	// concurrency. Use ProgressWriter to keep the old io.Writer behaviour.
 	Progress ProgressFunc
 	// Workers bounds the goroutine pool used by Precompute and RunAll
-	// (0 = runtime.NumCPU()). Individual simulations are always
-	// single-threaded; Workers only controls how many run at once.
+	// (0 = runtime.NumCPU()); with IntraWorkers it forms the total thread
+	// budget split between concurrent runs and threads per run.
 	Workers int
+	// IntraWorkers sets the partitioned-engine worker threads inside each
+	// simulation (core.WithIntraParallelism). 0 lets RunAll choose: wide
+	// stages keep one thread per run (inter-run parallelism already fills
+	// the budget), narrow/tail stages give the few remaining runs the
+	// spare threads. Results are byte-identical at any setting — every
+	// suite simulation uses the canonical partitioned schedule.
+	IntraWorkers int
 	// CaptureMetrics, when true, retains a final metrics-registry snapshot
 	// for every simulated (workload, design) pair, retrievable via
 	// Metrics. Off by default: snapshots hold the full per-CU counter set.
@@ -213,6 +221,23 @@ func (s *Suite) resultKey(wl string, cfg core.Config) artifact.Fingerprint {
 // suite's workload set (a programmer error — figures only request their
 // own suite's generators); use Trace to probe membership.
 func (s *Suite) Run(wl string, cfg core.Config) core.Results {
+	return s.run(wl, cfg, s.intraDefault())
+}
+
+// intraDefault resolves the per-run thread count for directly-invoked
+// runs (RunAll computes its own split).
+func (s *Suite) intraDefault() int {
+	if s.IntraWorkers > 0 {
+		return s.IntraWorkers
+	}
+	return 1
+}
+
+// run is Run with an explicit per-simulation thread count. The thread
+// count never changes the outcome — every suite run uses the canonical
+// partitioned schedule, which is byte-identical for any count — so
+// memoization and the artifact cache are oblivious to it.
+func (s *Suite) run(wl string, cfg core.Config, intra int) core.Results {
 	if _, ok := s.generator(wl); !ok {
 		panic(fmt.Errorf("experiments: workload %q not in suite", wl))
 	}
@@ -243,10 +268,15 @@ func (s *Suite) Run(wl string, cfg core.Config) core.Results {
 		panic(err) // unreachable: membership was validated above
 	}
 	sys := core.MustNew(cfg)
+	opts := []core.Option{core.WithIntraParallelism(intra)}
 	if s.EventTrace != nil {
-		sys.AttachTrace(s.EventTrace.Process(wl + "/" + cfg.Name))
+		opts = append(opts, core.WithEventTrace(s.EventTrace.Process(wl+"/"+cfg.Name)))
 	}
-	c.res = sys.Run(tr)
+	res, err := sys.RunContext(context.Background(), tr, opts...)
+	if err != nil {
+		panic(err) // ErrDeadlock: a modeling bug, matching System.Run
+	}
+	c.res = res
 	if s.CaptureMetrics {
 		// Snapshot after the run so observation never adds engine events.
 		c.snap = sys.Metrics().Snapshot(sys.Engine().Now())

@@ -63,12 +63,25 @@ type Stats struct {
 }
 
 // GPU executes a trace against a MemoryPath.
+//
+// By default every CU schedules on the engine the GPU was built with. In
+// a partitioned simulation (see Partition) each CU owns its own engine,
+// and the warp-global coordination state — the live-warp count, the
+// barrier rendezvous, run completion — lives with the coordinator on the
+// construction engine; CUs reach it only through the toCoord message
+// hook, and it releases barriers back through toCU, so no warp state is
+// ever touched across partitions.
 type GPU struct {
 	eng  *sim.Engine
 	cfg  Config
 	path MemoryPath
 	cus  []*cu
-	st   Stats
+
+	// Partitioned-mode hooks (nil = direct synchronous calls). toCoord
+	// carries the sending CU so the partition runner can stamp the
+	// message with the source engine's clock.
+	toCoord func(cu int, fn func())
+	toCU    func(cu int, fn func())
 
 	liveWarps  int
 	atBarrier  int
@@ -77,8 +90,10 @@ type GPU struct {
 
 type cu struct {
 	id    int
+	eng   *sim.Engine
 	port  *sim.Server
 	warps []*warp
+	st    Stats
 }
 
 // Warp event arguments (sim.Handler). Values >= warpIssue0 issue the
@@ -112,13 +127,40 @@ func New(eng *sim.Engine, cfg Config, path MemoryPath) *GPU {
 	}
 	g := &GPU{eng: eng, cfg: cfg, path: path}
 	for i := 0; i < cfg.NumCUs; i++ {
-		g.cus = append(g.cus, &cu{id: i, port: sim.NewServer(eng, cfg.IssuePerCycle)})
+		g.cus = append(g.cus, &cu{id: i, eng: eng, port: sim.NewServer(eng, cfg.IssuePerCycle)})
 	}
 	return g
 }
 
-// Stats returns a copy of the counters.
-func (g *GPU) Stats() Stats { return g.st }
+// Partition rebinds every CU to its own engine for a partitioned run:
+// warp events and the issue port move to cuEng(id), and the coordinator
+// state stays on the construction engine, reached via toCoord (CU ->
+// coordinator) with barrier releases flowing back via toCU (coordinator
+// -> CU). Both hooks must deliver the closure on the destination
+// partition's engine. Call before Launch.
+func (g *GPU) Partition(cuEng func(cu int) *sim.Engine, toCoord func(cu int, fn func()), toCU func(cu int, fn func())) {
+	g.toCoord, g.toCU = toCoord, toCU
+	for _, c := range g.cus {
+		c.eng = cuEng(c.id)
+		c.port = sim.NewServer(c.eng, g.cfg.IssuePerCycle)
+	}
+}
+
+// Stats returns the counters summed over CUs (each CU counts its own
+// warps' activity, so partitioned runs never contend on shared counters).
+func (g *GPU) Stats() Stats {
+	var t Stats
+	for _, c := range g.cus {
+		t.Instructions += c.st.Instructions
+		t.MemInsts += c.st.MemInsts
+		t.LaneAccesses += c.st.LaneAccesses
+		t.CoalescedReqs += c.st.CoalescedReqs
+		t.ScratchOps += c.st.ScratchOps
+		t.ComputeCycles += c.st.ComputeCycles
+		t.Barriers += c.st.Barriers
+	}
+	return t
+}
 
 // Launch binds the trace's warp streams to CU contexts and schedules them
 // to begin at the current cycle. onComplete fires when every warp has
@@ -147,7 +189,7 @@ func (g *GPU) Launch(tr *trace.Trace, onComplete func()) {
 	}
 	for _, c := range g.cus {
 		for _, w := range c.warps {
-			g.eng.ScheduleEvent(0, w, warpStep)
+			c.eng.ScheduleEvent(0, w, warpStep)
 		}
 	}
 }
@@ -182,29 +224,39 @@ func (w *warp) step() {
 		return
 	}
 	in := w.stream[w.pc]
-	g := w.g
-	g.st.Instructions++
+	g, c := w.g, w.cu
+	c.st.Instructions++
 	switch in.Kind {
 	case trace.Compute:
-		g.st.ComputeCycles += in.Cycles
-		g.eng.ScheduleEvent(in.Cycles, w, warpNext)
+		c.st.ComputeCycles += in.Cycles
+		c.eng.ScheduleEvent(in.Cycles, w, warpNext)
 	case trace.ScratchLoad, trace.ScratchStore:
-		g.st.ScratchOps++
+		c.st.ScratchOps++
 		lat := in.Cycles
 		if lat == 0 {
 			lat = g.cfg.ScratchLatency
 		}
-		g.eng.ScheduleEvent(lat, w, warpNext)
+		c.eng.ScheduleEvent(lat, w, warpNext)
 	case trace.Load, trace.Store:
 		w.issueMemory(in)
 	case trace.Barrier:
-		g.st.Barriers++
+		c.st.Barriers++
 		w.waiting = true
-		g.atBarrier++
-		g.checkBarrier()
+		if g.toCoord != nil {
+			g.toCoord(c.id, g.barrierArrive)
+		} else {
+			g.barrierArrive()
+		}
 	default:
 		panic(fmt.Sprintf("gpu: unknown instruction kind %v", in.Kind))
 	}
+}
+
+// barrierArrive runs at the coordinator: one more warp reached the
+// barrier.
+func (g *GPU) barrierArrive() {
+	g.atBarrier++
+	g.checkBarrier()
 }
 
 func (w *warp) next() {
@@ -217,27 +269,48 @@ func (w *warp) finish() {
 		return
 	}
 	w.done = true
-	w.g.liveWarps--
-	if w.g.liveWarps == 0 {
-		w.g.complete()
+	if w.g.toCoord != nil {
+		w.g.toCoord(w.cu.id, w.g.finishOne)
+		return
+	}
+	w.g.finishOne()
+}
+
+// finishOne runs at the coordinator: a warp retired its last instruction.
+func (g *GPU) finishOne() {
+	g.liveWarps--
+	if g.liveWarps == 0 {
+		g.complete()
 		return
 	}
 	// A finishing warp may unblock a barrier the rest are waiting at.
-	w.g.checkBarrier()
+	g.checkBarrier()
 }
 
-// checkBarrier releases all waiting warps once every live warp waits.
+// checkBarrier releases all waiting warps once every live warp waits. The
+// coordinator only counts arrivals; the per-warp waiting flags are CU
+// state, so in partitioned mode the release is broadcast and each CU
+// wakes its own warps.
 func (g *GPU) checkBarrier() {
 	if g.atBarrier == 0 || g.atBarrier < g.liveWarps {
 		return
 	}
 	g.atBarrier = 0
 	for _, c := range g.cus {
-		for _, w := range c.warps {
-			if w.waiting {
-				w.waiting = false
-				g.eng.ScheduleEvent(1, w, warpNext)
-			}
+		if g.toCU != nil {
+			g.toCU(c.id, c.release)
+		} else {
+			c.release()
+		}
+	}
+}
+
+// release wakes the CU's barrier-waiting warps.
+func (c *cu) release() {
+	for _, w := range c.warps {
+		if w.waiting {
+			w.waiting = false
+			c.eng.ScheduleEvent(1, w, warpNext)
 		}
 	}
 }
@@ -249,29 +322,29 @@ func (g *GPU) checkBarrier() {
 // blocking warp waits for all completions, and a non-blocking store
 // advances at lastSlot+1, strictly after the last issue slot.
 func (w *warp) issueMemory(in trace.Inst) {
-	g := w.g
+	g, c := w.g, w.cu
 	addrs := w.arena[in.Off : uint64(in.Off)+uint64(in.Lanes)]
 	w.write = in.Kind == trace.Store
-	g.st.MemInsts++
-	g.st.LaneAccesses += uint64(len(addrs))
+	c.st.MemInsts++
+	c.st.LaneAccesses += uint64(len(addrs))
 	w.lines = trace.CoalesceLinesInto(w.lines[:0], addrs)
-	g.st.CoalescedReqs += uint64(len(w.lines))
+	c.st.CoalescedReqs += uint64(len(w.lines))
 	w.blocking = !w.write || g.cfg.BlockOnStore
 	if w.blocking {
 		w.pending = len(w.lines)
 	}
 	var lastSlot uint64
 	for i := range w.lines {
-		slot := w.cu.port.Admit()
+		slot := c.port.Admit()
 		if slot > lastSlot {
 			lastSlot = slot
 		}
-		g.eng.AtEvent(slot, w, warpIssue0+uint64(i))
+		c.eng.AtEvent(slot, w, warpIssue0+uint64(i))
 	}
 	if !w.blocking {
 		// Non-blocking store: the warp advances once the requests have
 		// been handed to the memory system.
-		g.eng.AtEvent(lastSlot+1, w, warpNext)
+		c.eng.AtEvent(lastSlot+1, w, warpNext)
 	}
 }
 

@@ -82,6 +82,21 @@ func (n *Network) Send(r Route, done func()) {
 // RoundTrip returns latency for a request-response pair on r (2x one-way).
 func (n *Network) RoundTrip(r Route) uint64 { return 2 * n.Latency(r) }
 
+// MinLatency returns the smallest configured latency among the given
+// routes — the conservative lookahead of a partitioned simulation whose
+// partitions exchange messages only over those routes. Unconfigured
+// routes count as zero-latency, making the lookahead (correctly)
+// degenerate.
+func (n *Network) MinLatency(rs ...Route) uint64 {
+	var min uint64
+	for i, r := range rs {
+		if l := n.Latency(r); i == 0 || l < min {
+			min = l
+		}
+	}
+	return min
+}
+
 func (l *Link) String() string {
 	return fmt.Sprintf("link{lat: %d, msgs: %d}", l.Latency, l.Messages)
 }

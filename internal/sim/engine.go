@@ -222,6 +222,11 @@ func (e *Engine) pullOverflow() {
 	}
 }
 
+// NextEvent returns the cycle of the earliest pending event and whether
+// one exists. The partitioned runner uses it to compute the global lower
+// bound that opens each conservative window.
+func (e *Engine) NextEvent() (uint64, bool) { return e.next() }
+
 // next returns the cycle of the earliest pending event.
 func (e *Engine) next() (uint64, bool) {
 	if e.cur < len(e.buckets[e.now&bucketMask]) {

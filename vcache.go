@@ -213,6 +213,10 @@ var (
 	WithEventTrace = core.WithEventTrace
 	// WithProgress reports liveness during long runs.
 	WithProgress = core.WithProgress
+	// WithIntraParallelism runs the simulation on n worker threads using
+	// the partitioned event engine with conservative cycle windows; results
+	// are byte-identical at any n.
+	WithIntraParallelism = core.WithIntraParallelism
 )
 
 // NewSystem assembles a system; use it instead of Run when you need to
