@@ -72,6 +72,7 @@ var apiGolden = []string{
 	"var DesignVCOpt",
 	"var DesignVCOptDSR",
 	"var ProgressWriter",
+	"var WithBatchedTranslation",
 	"var WithEventTrace",
 	"var WithIntraParallelism",
 	"var WithMetricsInterval",

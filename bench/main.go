@@ -61,7 +61,7 @@ func main() {
 	}
 
 	// Micro benchmarks: engine, caches, TLBs — fast, default benchtime.
-	micro := []string{"./internal/sim", "./internal/cache", "./internal/tlb"}
+	micro := []string{"./internal/sim", "./internal/cache", "./internal/tlb", "./internal/core"}
 	args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem"}
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)

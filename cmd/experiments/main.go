@@ -54,6 +54,7 @@ func main() {
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results are identical either way)")
 	intraParallel := flag.Int("intra-parallel", 0, "partitioned-engine worker threads inside each simulation (0 = auto split with -parallel; results are byte-identical at any value)")
+	batched := flag.Bool("batched-translation", false, "warp-level batched translation front-end for every run (cached separately from legacy results; no-op for designs without per-CU TLBs)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
 	metricsOut := flag.String("metrics", "", "dump every run's end-of-run metrics registry to this JSONL file")
@@ -82,6 +83,7 @@ func main() {
 	}
 	suite.Workers = *parallel
 	suite.IntraWorkers = *intraParallel
+	suite.BatchedTranslation = *batched
 	if !*noCache {
 		suite.Cache, err = artifact.Open(*cacheDir)
 		if err != nil {

@@ -93,6 +93,7 @@ func main() {
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
 	intraParallel := flag.Int("intra-parallel", 1, "partitioned-engine worker threads inside each simulation (results are byte-identical at any value)")
+	batched := flag.Bool("batched-translation", false, "warp-level batched translation front-end: page-chunk dedup, inline TLB hit peeling, bulk IOMMU miss submission (deterministic; no-op for designs without per-CU TLBs)")
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	metricsOut := flag.String("metrics", "", "stream interval metrics-registry snapshots to this JSONL file (one labeled record per interval per design)")
 	eventsOut := flag.String("events", "", "write cycle-stamped component events to this Chrome-trace file (one process per design)")
@@ -138,6 +139,7 @@ func main() {
 		}
 		cfg.ProbeResidency = *probe
 		cfg.LargePages = *largePages
+		cfg.BatchedTranslation = *batched
 		if *iommubw >= 0 {
 			cfg = cfg.WithIOMMUBandwidth(*iommubw)
 		}

@@ -104,6 +104,7 @@ func TestFingerprintCoversEveryParamsField(t *testing.T) {
 
 var configShapeGolden = []string{
 	"Config.ASIDTags bool",
+	"Config.BatchedTranslation bool",
 	"Config.DRAM.Latency uint64",
 	"Config.DRAM.LinesPerCycle int",
 	"Config.DynamicSynonymRemap bool",

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"vcache/internal/memory"
+	"vcache/internal/workloads"
+)
+
+// Translation-throughput microbenchmark: the batched front half
+// (acquire → page-chunk → span-probe → release) against the per-line
+// Lookup loop it replaces, on three 32-lane warp streams. "lookups/s" is
+// coalesced lines translated per second — the front-end's translation
+// bandwidth.
+//
+//   - hit-heavy:     2 resident pages per warp (high dedup, all hits) —
+//     the common case batching targets; expect well over the 1.5x goal.
+//   - miss-heavy:    4 never-resident pages per warp — dedup still
+//     collapses 32 probes to 4, misses stay misses.
+//   - synonym-heavy: every line on its own resident alias page — zero
+//     dedup, the adversarial floor; batching must not lose here.
+
+const benchWarpLanes = 32
+
+// benchStream builds 256 deterministic 32-line warps of the given flavour.
+func benchStream(kind string) [][]memory.VAddr {
+	warps := make([][]memory.VAddr, 256)
+	rng := uint64(0x243f6a8885a308d3)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for w := range warps {
+		lines := make([]memory.VAddr, benchWarpLanes)
+		for l := range lines {
+			var page uint64
+			switch kind {
+			case "hit-heavy":
+				page = uint64(w%32)*2 + uint64(l/16) // pages 0..63
+			case "miss-heavy":
+				page = 1<<20 + uint64(w)*4 + uint64(l/8)
+			default: // synonym-heavy: pages 64..319
+				page = 64 + uint64(w%8)*benchWarpLanes + uint64(l)
+			}
+			lines[l] = memory.VAddr(page*memory.PageSize + (next()%64)*memory.LineSize)
+		}
+		warps[w] = lines
+	}
+	return warps
+}
+
+// Real-workload end-to-end throughput: bfs under the baseline design,
+// legacy vs batched front-end. ns/op is the wall-clock per full
+// simulation; events/s the engine's event throughput (batching also
+// shrinks the event count per instruction, so compare ns/op for the
+// simulator-speed story).
+func benchWorkloadRun(b *testing.B, cfg Config) {
+	g, ok := workloads.ByName("bfs")
+	if !ok {
+		b.Fatal("bfs workload missing")
+	}
+	tr := g.Build(workloads.DefaultParams())
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := MustNew(cfg)
+		if _, err := sys.RunContext(context.Background(), tr); err != nil {
+			b.Fatal(err)
+		}
+		events += sys.Engine().Fired()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkRunBFSBaseline(b *testing.B) { benchWorkloadRun(b, DesignBaseline512()) }
+
+func BenchmarkRunBFSBaselineBatched(b *testing.B) {
+	cfg := DesignBaseline512()
+	cfg.BatchedTranslation = true
+	benchWorkloadRun(b, cfg)
+}
+
+func BenchmarkTranslateLines(b *testing.B) {
+	for _, kind := range []string{"hit-heavy", "miss-heavy", "synonym-heavy"} {
+		warps := benchStream(kind)
+		for _, mode := range []string{"perline", "batched"} {
+			mode := mode
+			b.Run(kind+"/"+mode, func(b *testing.B) {
+				cfg := smallCfg(DesignBaseline512())
+				cfg.BatchedTranslation = true
+				s := MustNew(cfg)
+				// Make the hot sets resident (pages 0..319 fit the
+				// 512-entry TLB without set conflicts).
+				for p := uint64(0); p < 320; p++ {
+					s.cuTLBs[0].Insert(s.asid, memory.VPN(p), memory.PPN(1000+p), memory.PermRead|memory.PermWrite)
+				}
+				nop := func() {}
+				t := s.cuTLBs[0]
+				var lines uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, wl := range warps {
+						if mode == "perline" {
+							for _, la := range wl {
+								t.Lookup(s.asid, la.Page())
+							}
+						} else {
+							f := s.acquireFrame(0, wl, false, nop)
+							f.chunk()
+							s.probeChunks(0, f)
+							s.releaseFrame(0, f)
+						}
+						lines += uint64(len(wl))
+					}
+				}
+				b.ReportMetric(float64(lines)/b.Elapsed().Seconds(), "lookups/s")
+			})
+		}
+	}
+}

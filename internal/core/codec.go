@@ -23,7 +23,11 @@ const (
 	// whenever a change makes simulations produce different Results for an
 	// identical (trace, Config) pair — it is part of every result cache
 	// key, so stale entries stop matching.
-	SimVersion = 2
+	//
+	// v3: batched translation front-end (Config.BatchedTranslation). The
+	// default per-line path is schedule-identical to v2, but Config and
+	// Results grew fields, so every fingerprint moves.
+	SimVersion = 3
 
 	// resultsCodecVersion is the wire-format version of EncodeResults.
 	resultsCodecVersion = 1

@@ -28,3 +28,17 @@ func BenchmarkRunIdeal(b *testing.B)       { benchRun(b, DesignIdeal()) }
 func BenchmarkRunBaseline512(b *testing.B) { benchRun(b, DesignBaseline512()) }
 func BenchmarkRunVCOpt(b *testing.B)       { benchRun(b, DesignVCOpt()) }
 func BenchmarkRunL1OnlyVC(b *testing.B)    { benchRun(b, DesignL1OnlyVC(32)) }
+
+// Batched-translation variants of the designs the front-end applies to,
+// for direct comparison against their per-line rows above.
+func BenchmarkRunBaseline512Batched(b *testing.B) {
+	cfg := DesignBaseline512()
+	cfg.BatchedTranslation = true
+	benchRun(b, cfg)
+}
+
+func BenchmarkRunL1OnlyVCBatched(b *testing.B) {
+	cfg := DesignL1OnlyVC(32)
+	cfg.BatchedTranslation = true
+	benchRun(b, cfg)
+}

@@ -23,7 +23,8 @@ type options struct {
 	snapshot        func(obs.Snapshot)
 	events          obs.EventSink
 	progress        func(Progress)
-	intra           int // partitioned-engine worker request (0 = legacy engine)
+	intra           int  // partitioned-engine worker request (0 = legacy engine)
+	batched         bool // batched translation front-end request
 
 	sinkErr error // first metrics-sink write failure
 }
@@ -90,4 +91,18 @@ func WithProgress(fn func(Progress)) Option {
 // remains cycle-for-cycle identical to System.Run.
 func WithIntraParallelism(n int) Option {
 	return func(o *options) { o.intra = n }
+}
+
+// WithBatchedTranslation enables the batched translation front-end for this
+// run (equivalent to Config.BatchedTranslation): each warp memory
+// instruction's coalesced line set is translated as one TranslateLines
+// batch — one per-CU TLB probe per distinct page, hits peeled inline, the
+// residual miss set bulk-submitted to the IOMMU. The schedule is
+// deterministic (and byte-identical across WithIntraParallelism worker
+// counts) but intentionally different from the legacy per-line path; use
+// Config.BatchedTranslation instead when results feed the artifact cache,
+// so the flag participates in the cache key. No-op for designs without a
+// per-CU-TLB front end (VirtualHierarchy, IdealMMU).
+func WithBatchedTranslation() Option {
+	return func(o *options) { o.batched = true }
 }

@@ -508,7 +508,6 @@ func (s *System) fillL1(cu int, line memory.VAddr, perm memory.Perm) {
 
 func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) {
 	line := va.Line()
-	const physPerm = memory.PermRead | memory.PermWrite
 	s.cuEng(cu).Schedule(s.cfg.Lat.L1Hit, func() {
 		l1 := s.l1s[cu]
 		if write {
@@ -522,25 +521,7 @@ func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) 
 					done()
 					return
 				}
-				pa := uint64(pte.PPN.Base() + memory.PAddr(line.Offset()))
-				s.sendToBackend(cu, noc.CUToL2, func() {
-					s.l2Bank(pa, func() {
-						if _, hit := s.l2.Access(pa, true); hit {
-							done()
-							return
-						}
-						s.fetchLine(pa, func(memory.Perm, bool) {
-							s.l2.Access(pa, true)
-							done()
-						}, func() {
-							s.mem.Access(false, func() {
-								s.l2.Fill(pa, physPerm, s.asid, false)
-								s.sampleL2Pages()
-								s.lineReady(pa, physPerm, true)
-							})
-						})
-					})
-				})
+				s.l1onlyBackend(cu, line, true, pte, done)
 			})
 			return
 		}
@@ -556,26 +537,56 @@ func (s *System) accessL1Only(cu int, va memory.VAddr, write bool, done func()) 
 				done()
 				return
 			}
-			pa := uint64(pte.PPN.Base() + memory.PAddr(line.Offset()))
-			deliver := func(memory.Perm, bool) {
-				s.sendToCU(cu, noc.CUToL2, func() {
-					s.fillL1(cu, line, pte.Perm)
+			s.l1onlyBackend(cu, line, false, pte, done)
+		})
+	})
+}
+
+// l1onlyBackend runs the physical-L2 half of an L1-only-virtual access,
+// once translation has produced the PTE: write-through/write-allocate
+// stores, or a read whose fill is delivered back into the (virtual) L1.
+// Shared by the per-line path above and the batched chunk fan-out.
+func (s *System) l1onlyBackend(cu int, line memory.VAddr, write bool, pte memory.PTE, done func()) {
+	const physPerm = memory.PermRead | memory.PermWrite
+	pa := uint64(pte.PPN.Base() + memory.PAddr(line.Offset()))
+	if write {
+		s.sendToBackend(cu, noc.CUToL2, func() {
+			s.l2Bank(pa, func() {
+				if _, hit := s.l2.Access(pa, true); hit {
 					done()
-				})
-			}
-			s.sendToBackend(cu, noc.CUToL2, func() {
-				s.l2Bank(pa, func() {
-					if _, hit := s.l2.Access(pa, false); hit {
-						deliver(pte.Perm, true)
-						return
-					}
-					s.fetchLine(pa, deliver, func() {
-						s.mem.Access(false, func() {
-							s.l2.Fill(pa, physPerm, s.asid, false)
-							s.sampleL2Pages()
-							s.lineReady(pa, physPerm, true)
-						})
+					return
+				}
+				s.fetchLine(pa, func(memory.Perm, bool) {
+					s.l2.Access(pa, true)
+					done()
+				}, func() {
+					s.mem.Access(false, func() {
+						s.l2.Fill(pa, physPerm, s.asid, false)
+						s.sampleL2Pages()
+						s.lineReady(pa, physPerm, true)
 					})
+				})
+			})
+		})
+		return
+	}
+	deliver := func(memory.Perm, bool) {
+		s.sendToCU(cu, noc.CUToL2, func() {
+			s.fillL1(cu, line, pte.Perm)
+			done()
+		})
+	}
+	s.sendToBackend(cu, noc.CUToL2, func() {
+		s.l2Bank(pa, func() {
+			if _, hit := s.l2.Access(pa, false); hit {
+				deliver(pte.Perm, true)
+				return
+			}
+			s.fetchLine(pa, deliver, func() {
+				s.mem.Access(false, func() {
+					s.l2.Fill(pa, physPerm, s.asid, false)
+					s.sampleL2Pages()
+					s.lineReady(pa, physPerm, true)
 				})
 			})
 		})

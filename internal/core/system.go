@@ -99,6 +99,10 @@ type System struct {
 	linePool   [][]lineWaiter
 	lineMerges uint64
 
+	// batch holds the per-CU frame pools of the batched translation
+	// front-end; nil while the legacy per-line path is in use.
+	batch []batchPool
+
 	synonymReplays uint64
 	fbtInvalLines  uint64 // L2 lines invalidated on FBT eviction/shootdown
 	l2PagePeak     int    // max distinct pages seen in L2 (sampled on fills)
@@ -119,6 +123,7 @@ type cuCounters struct {
 	tlbMerges     uint64
 	remapHits     uint64
 	l1FullFlushes uint64
+	batch         BatchStats // batched translation front-end activity
 	tlbLife       stats.CDF // per-CU TLB entry residence (TrackLifetimes)
 	l1Life        stats.CDF // L1 line active lifetime (TrackLifetimes)
 	waitPool      [][]func(memory.PTE, bool)
@@ -206,6 +211,9 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s.gpu = gpu.New(eng, cfg.GPU, s)
+	if cfg.BatchedTranslation {
+		s.enableBatching()
+	}
 	s.buildRegistry()
 	return s, nil
 }
@@ -264,6 +272,23 @@ func (s *System) buildRegistry() {
 			return float64(t)
 		}
 	}
+	// Batched translation front-end counters (zero unless the batched path
+	// is enabled). Chunks-vs-lines gives the within-warp page dedup.
+	tb := r.Scope("tlb.batch")
+	tb.Gauge("calls", sumCU(func(c *cuCounters) uint64 { return c.batch.Calls }))
+	tb.Gauge("lines", sumCU(func(c *cuCounters) uint64 { return c.batch.Lines }))
+	tb.Gauge("chunks", sumCU(func(c *cuCounters) uint64 { return c.batch.Chunks }))
+	tb.Gauge("hit_chunks", sumCU(func(c *cuCounters) uint64 { return c.batch.HitChunks }))
+	tb.Gauge("inline_hits", sumCU(func(c *cuCounters) uint64 { return c.batch.InlineHits }))
+	tb.Gauge("dedup_ratio", func() float64 {
+		var b BatchStats
+		for i := range s.cuStats {
+			b.Lines += s.cuStats[i].batch.Lines
+			b.Chunks += s.cuStats[i].batch.Chunks
+		}
+		return b.DedupRatio()
+	})
+
 	c := r.Scope("core")
 	c.Counter("synonym_replays", &s.synonymReplays)
 	c.Gauge("remap_hits", sumCU(func(c *cuCounters) uint64 { return c.remapHits }))
@@ -493,6 +518,9 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option
 	}
 	if o.events != nil {
 		s.AttachTrace(o.events)
+	}
+	if o.batched {
+		s.enableBatching()
 	}
 	if o.intra > 0 {
 		return s.runIntra(ctx, tr, &o)

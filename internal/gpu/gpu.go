@@ -31,6 +31,18 @@ type MemoryPath interface {
 	Access(cu int, addr memory.VAddr, write bool, done func())
 }
 
+// BatchedPath extends MemoryPath with a warp-granular entry point: the
+// whole coalesced line set of one memory instruction arrives in a single
+// call, letting the path dedup translation work across the warp's lines.
+// done must fire exactly once per line, with the same semantics as the
+// per-line Access callback. lines is the warp's reused coalescing buffer:
+// the path must copy anything it needs beyond the call, because the warp
+// may overwrite it as soon as the current cycle's events finish.
+type BatchedPath interface {
+	MemoryPath
+	AccessLines(cu int, lines []memory.VAddr, write bool, done func())
+}
+
 // Config describes the GPU front-end.
 type Config struct {
 	// NumCUs is the compute unit count (paper: 16).
@@ -72,10 +84,11 @@ type Stats struct {
 // hook, and it releases barriers back through toCU, so no warp state is
 // ever touched across partitions.
 type GPU struct {
-	eng  *sim.Engine
-	cfg  Config
-	path MemoryPath
-	cus  []*cu
+	eng     *sim.Engine
+	cfg     Config
+	path    MemoryPath
+	batched BatchedPath // non-nil once EnableBatchedIssue ran
+	cus     []*cu
 
 	// Partitioned-mode hooks (nil = direct synchronous calls). toCoord
 	// carries the sending CU so the partition runner can stamp the
@@ -101,7 +114,8 @@ type cu struct {
 const (
 	warpStep   = 0 // execute the instruction at pc
 	warpNext   = 1 // advance pc, then execute
-	warpIssue0 = 2
+	warpBatch  = 2 // hand the whole coalesced line set to the batched path
+	warpIssue0 = 3
 )
 
 type warp struct {
@@ -130,6 +144,20 @@ func New(eng *sim.Engine, cfg Config, path MemoryPath) *GPU {
 		g.cus = append(g.cus, &cu{id: i, eng: eng, port: sim.NewServer(eng, cfg.IssuePerCycle)})
 	}
 	return g
+}
+
+// EnableBatchedIssue switches memory instructions from per-line issue
+// events to one warp-level AccessLines call per instruction. The path the
+// GPU was built with must implement BatchedPath (it panics otherwise). The
+// CU issue port still admits one slot per coalesced line — issue bandwidth
+// is modeled identically — but the batch is handed over in a single event
+// at the last line's slot. Call before Launch.
+func (g *GPU) EnableBatchedIssue() {
+	bp, ok := g.path.(BatchedPath)
+	if !ok {
+		panic("gpu: memory path does not implement BatchedPath")
+	}
+	g.batched = bp
 }
 
 // Partition rebinds every CU to its own engine for a partitioned run:
@@ -212,6 +240,8 @@ func (w *warp) Handle(arg uint64) {
 		w.step()
 	case warpNext:
 		w.next()
+	case warpBatch:
+		w.issueBatch()
 	default:
 		w.issueLine(int(arg - warpIssue0))
 	}
@@ -339,7 +369,15 @@ func (w *warp) issueMemory(in trace.Inst) {
 		if slot > lastSlot {
 			lastSlot = slot
 		}
-		c.eng.AtEvent(slot, w, warpIssue0+uint64(i))
+		if g.batched == nil {
+			c.eng.AtEvent(slot, w, warpIssue0+uint64(i))
+		}
+	}
+	if g.batched != nil {
+		// Batched issue: the port slots above charge the same issue
+		// bandwidth, and the whole line set crosses into the memory path
+		// in one event once the last line could have issued.
+		c.eng.AtEvent(lastSlot, w, warpBatch)
 	}
 	if !w.blocking {
 		// Non-blocking store: the warp advances once the requests have
@@ -362,6 +400,18 @@ func (w *warp) issueLine(i int) {
 		done = nopDone
 	}
 	w.g.path.Access(w.cu.id, w.lines[i], w.write, done)
+}
+
+// issueBatch hands the current instruction's whole line set to the
+// batched path. Same stability argument as issueLine: the batch event
+// fires at the last issue slot, before the warp can advance, so
+// w.lines/w.write/w.blocking are still the current instruction's.
+func (w *warp) issueBatch() {
+	done := w.lineDone
+	if !w.blocking {
+		done = nopDone
+	}
+	w.g.batched.AccessLines(w.cu.id, w.lines, w.write, done)
 }
 
 // onLineDone retires one outstanding line of a blocking instruction.

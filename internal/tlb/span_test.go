@@ -1,0 +1,128 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcache/internal/memory"
+)
+
+// LookupSpan(asid, vpn, n) must be observationally equivalent to n
+// consecutive Lookup(asid, vpn) calls: same return value, same hit/miss
+// counter deltas, and the same final LRU position for the touched entry
+// (so replacement decisions match between the batched and legacy paths).
+func TestLookupSpanMatchesRepeatedLookup(t *testing.T) {
+	build := func() (*TLB, *TLB) {
+		a := New(Config{Entries: 8, Assoc: 2})
+		b := New(Config{Entries: 8, Assoc: 2})
+		for i := 0; i < 4; i++ {
+			a.Insert(1, memory.VPN(i), memory.PPN(100+i), memory.PermRead)
+			b.Insert(1, memory.VPN(i), memory.PPN(100+i), memory.PermRead)
+		}
+		return a, b
+	}
+
+	cases := []struct {
+		name string
+		vpn  memory.VPN
+		n    uint64
+	}{
+		{"hit span", 2, 5},
+		{"miss span", 99, 3},
+		{"single", 0, 1},
+	}
+	for _, tc := range cases {
+		legacy, span := build()
+		var le Entry
+		var lok bool
+		for i := uint64(0); i < tc.n; i++ {
+			le, lok = legacy.Lookup(1, tc.vpn)
+		}
+		se, sok := span.LookupSpan(1, tc.vpn, tc.n)
+		if lok != sok || le != se {
+			t.Errorf("%s: span returned (%+v, %v), repeated Lookup (%+v, %v)", tc.name, se, sok, le, lok)
+		}
+		if legacy.Stats() != span.Stats() {
+			t.Errorf("%s: stats diverge: span %+v, repeated %+v", tc.name, span.Stats(), legacy.Stats())
+		}
+		// LRU equivalence: fill the set so that the next insert must pick a
+		// victim, and check both TLBs evict the same entry.
+		if tc.vpn < 4 {
+			victimA, victimB := fillAndEvict(legacy), fillAndEvict(span)
+			if victimA != victimB {
+				t.Errorf("%s: replacement diverges: repeated evicts %v, span evicts %v", tc.name, victimA, victimB)
+			}
+		}
+	}
+}
+
+// fillAndEvict inserts fresh entries colliding with VPN 0-3's sets until an
+// eviction fires, returning the first victim VPN.
+func fillAndEvict(t *TLB) memory.VPN {
+	victim := memory.VPN(0)
+	seen := false
+	t.OnEvict = func(e Entry, _ uint64) {
+		if !seen {
+			victim, seen = e.VPN, true
+		}
+	}
+	for i := 0; !seen && i < 64; i++ {
+		t.Insert(1, memory.VPN(1000+i), memory.PPN(i), memory.PermRead)
+	}
+	return victim
+}
+
+// A span over a covering 2MB entry must hit like Lookup does.
+func TestLookupSpanLargePages(t *testing.T) {
+	finite := New(Config{Entries: 16, Assoc: 4})
+	finite.InsertLarge(1, 0, 0, memory.PermRead)
+	infinite := New(Config{})
+	infinite.InsertLarge(1, 0, 0, memory.PermRead)
+	for name, tl := range map[string]*TLB{"finite": finite, "infinite": infinite} {
+		e, ok := tl.LookupSpan(1, memory.VPN(7), 4)
+		if !ok || !e.Large {
+			t.Fatalf("%s: span missed a covered 2MB region: (%+v, %v)", name, e, ok)
+		}
+		if e.Frame(7) != memory.PPN(7) {
+			t.Fatalf("%s: Frame(7) = %d, want 7", name, e.Frame(7))
+		}
+		if st := tl.Stats(); st.Hits != 4 {
+			t.Fatalf("%s: hits = %d, want 4", name, st.Hits)
+		}
+	}
+}
+
+func TestLookupSpanZeroCount(t *testing.T) {
+	tl := New(Config{Entries: 8})
+	tl.Insert(1, 0, 0, memory.PermRead)
+	if _, ok := tl.LookupSpan(1, 0, 0); ok {
+		t.Fatal("zero-length span must miss without touching the TLB")
+	}
+	if st := tl.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("zero-length span moved counters: %+v", st)
+	}
+}
+
+// LookupSpan sits on the batched warp hot path: like Lookup, it must never
+// allocate.
+func TestLookupSpanZeroAlloc(t *testing.T) {
+	finite := New(Config{Entries: 128, Assoc: 8})
+	for i := 0; i < 128; i++ {
+		finite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	infinite := New(Config{})
+	for i := 0; i < 1024; i++ {
+		infinite.Insert(1, memory.VPN(i), memory.PPN(i), memory.PermRead)
+	}
+	i := uint64(0)
+	checks := map[string]func(){
+		"finite hit":    func() { finite.LookupSpan(1, memory.VPN(i%128), 8); i++ },
+		"finite miss":   func() { finite.LookupSpan(1, memory.VPN(10000+i%128), 8); i++ },
+		"infinite hit":  func() { infinite.LookupSpan(1, memory.VPN(i%1024), 8); i++ },
+		"infinite miss": func() { infinite.LookupSpan(1, memory.VPN(10000+i%1024), 8); i++ },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("LookupSpan (%s): %v allocs/op, want 0", name, n)
+		}
+	}
+}

@@ -186,6 +186,56 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 	return Entry{}, false
 }
 
+// LookupSpan is the batched front-end's probe: one associative search for
+// (asid, vpn) on behalf of n coalesced same-page lookups. Counters and the
+// LRU clock advance exactly as n consecutive Lookup calls would — the span
+// counts as n hits or n misses and leaves the entry most-recently-used at
+// the same tick — but the set is searched once. A miss emits a single
+// "miss" trace event for the whole span.
+func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, bool) {
+	if n == 0 {
+		return Entry{}, false
+	}
+	t.tick += n
+	if t.inf != nil {
+		if e, ok := t.inf[key{asid, vpn}]; ok {
+			t.stats.Hits += n
+			return e, true
+		}
+		if len(t.infLarge) > 0 {
+			if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
+				t.stats.Hits += n
+				return e, true
+			}
+		}
+		t.stats.Misses += n
+		t.Trace.Emit("miss", uint64(vpn))
+		return Entry{}, false
+	}
+	set := t.sets[t.setIndex(asid, vpn)]
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
+			set[i].lru = t.tick
+			t.stats.Hits += n
+			return set[i], true
+		}
+	}
+	if t.large > 0 {
+		base := largeBase(vpn)
+		set = t.sets[t.setIndex(asid, base)]
+		for i := range set {
+			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
+				set[i].lru = t.tick
+				t.stats.Hits += n
+				return set[i], true
+			}
+		}
+	}
+	t.stats.Misses += n
+	t.Trace.Emit("miss", uint64(vpn))
+	return Entry{}, false
+}
+
 // Probe reports whether a translation for (asid, vpn) is resident (4KB or
 // covering 2MB entry) without disturbing LRU or counters.
 func (t *TLB) Probe(asid memory.ASID, vpn memory.VPN) bool {

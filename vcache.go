@@ -217,6 +217,11 @@ var (
 	// the partitioned event engine with conservative cycle windows; results
 	// are byte-identical at any n.
 	WithIntraParallelism = core.WithIntraParallelism
+	// WithBatchedTranslation enables the batched translation front-end
+	// (warp-level TranslateLines with page-chunk dedup and bulk IOMMU miss
+	// submission); deterministic but a different schedule than the default
+	// per-line path. Prefer Config.BatchedTranslation for cached runs.
+	WithBatchedTranslation = core.WithBatchedTranslation
 )
 
 // NewSystem assembles a system; use it instead of Run when you need to
