@@ -20,9 +20,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"vcache/internal/artifact"
@@ -58,6 +60,16 @@ func main() {
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Note:      *note,
+	}
+
+	// Streaming front end: peak-RSS and throughput of materialized vs
+	// chunked replay at 1x and 10x scale (subprocesses, so RSS is
+	// attributable). Runs FIRST: on Linux a child's ru_maxrss floor is
+	// the parent's own RSS high-water mark at spawn time (the pre-exec
+	// mm's hiwater_rss folds into signal->maxrss), so these points must
+	// be taken before the in-process suite passes grow this process.
+	if err := streamRSSBench(&snap, *quick); err != nil {
+		fatal(err)
 	}
 
 	// Micro benchmarks: engine, caches, TLBs — fast, default benchtime.
@@ -164,6 +176,92 @@ func suiteCacheTimes(snap *Snapshot) error {
 	)
 	return nil
 }
+
+// streamRSSBench measures the streaming front end's bounded-memory claim
+// end to end: a vcsim subprocess generates and simulates pagerank either
+// fully materialized or as a chunked (v4) stream, and the parent records
+// the child's peak RSS (ru_maxrss) alongside events/s parsed from the
+// simulation summary line. Streamed runs hold at most a chunk window in
+// memory regardless of scale; materialized runs hold the whole trace. In
+// -quick mode only the 1x points run.
+func streamRSSBench(snap *Snapshot, quick bool) error {
+	dir, err := os.MkdirTemp("", "vcache-bench-stream-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	vcsim := filepath.Join(dir, "vcsim")
+	if out, err := exec.Command("go", "build", "-o", vcsim, "./cmd/vcsim").CombinedOutput(); err != nil {
+		return fmt.Errorf("building vcsim: %v\n%s", err, out)
+	}
+
+	scales := []int{1, 10}
+	if quick {
+		scales = []int{1}
+	}
+	for _, scale := range scales {
+		for _, mode := range []string{"materialized", "streamed"} {
+			args := []string{"-workload", "pagerank", "-design", "ideal",
+				"-no-cache", "-scale", strconv.Itoa(scale)}
+			if mode == "streamed" {
+				args = append(args, "-stream")
+			}
+			cmd := exec.Command(vcsim, args...)
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			start := time.Now()
+			if err := cmd.Run(); err != nil {
+				return fmt.Errorf("vcsim %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+			}
+			wall := time.Since(start)
+			rss := peakRSSBytes(cmd.ProcessState)
+			evps := parseEventsPerSec(stderr.String())
+			fmt.Fprintf(os.Stderr, "stream rss: pagerank scale=%d %-12s rss=%.1fMB events/s=%.1fM wall=%.2fs\n",
+				scale, mode, float64(rss)/(1<<20), evps/1e6, wall.Seconds())
+			snap.Benchmarks = append(snap.Benchmarks, Benchmark{
+				Name:       fmt.Sprintf("StreamRSS/pagerank/scale=%d/%s", scale, mode),
+				Package:    "vcache/bench",
+				Iterations: 1,
+				Metrics: map[string]float64{
+					"s/op":           wall.Seconds(),
+					"peak_rss_bytes": float64(rss),
+					"events_per_sec": evps,
+				},
+			})
+		}
+	}
+	return nil
+}
+
+// peakRSSBytes extracts the child's peak resident set size in bytes.
+// Linux reports ru_maxrss in KB; Darwin in bytes.
+func peakRSSBytes(ps *os.ProcessState) uint64 {
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0
+	}
+	rss := uint64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return rss
+}
+
+// parseEventsPerSec pulls the "(N.NM events/s)" figure from vcsim's
+// simulation summary line (0 when absent, e.g. for cached runs).
+func parseEventsPerSec(stderr string) float64 {
+	m := eventsRateRE.FindStringSubmatch(stderr)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0
+	}
+	return v * 1e6
+}
+
+var eventsRateRE = regexp.MustCompile(`\(([0-9.]+)M events/s\)`)
 
 // runBench executes `go <args>`, echoes its output, and folds parsed
 // benchmark lines into the snapshot.

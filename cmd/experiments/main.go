@@ -62,6 +62,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $VCACHE_DIR or out/cache)")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
 	cacheStats := flag.Bool("cache-stats", false, "print artifact-cache traffic to stderr on exit")
+	stream := flag.Bool("stream", false, "replay workloads from chunked (v4) streams: per-run memory stays bounded by the chunk budget; results are byte-identical")
+	chunkBudget := flag.Int("chunk-budget", 0, "chunk byte budget for -stream (0 = default 4MB)")
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -84,6 +86,8 @@ func main() {
 	suite.Workers = *parallel
 	suite.IntraWorkers = *intraParallel
 	suite.BatchedTranslation = *batched
+	suite.StreamTraces = *stream
+	suite.ChunkBudget = *chunkBudget
 	if !*noCache {
 		suite.Cache, err = artifact.Open(*cacheDir)
 		if err != nil {

@@ -27,7 +27,15 @@ func main() {
 	warps := flag.Int("warps", 8, "warp contexts per CU")
 	verbose := flag.Bool("v", false, "per-CU warp stream lengths")
 	out := flag.String("o", "", "save the generated trace(s) to this file (single workload) or directory")
+	chunked := flag.Bool("chunked", false, "save as a chunked (v4) stream: chunks are written as the generator emits them, so peak memory stays bounded by -chunk-budget even at large -scale")
+	chunkBudget := flag.Int("chunk-budget", 0, "chunk byte budget for -chunked (0 = default 4MB)")
+	compress := flag.Bool("compress", false, "flate-compress chunk payloads (-chunked only)")
 	flag.Parse()
+
+	if *chunked && *out == "" {
+		fmt.Fprintln(os.Stderr, "-chunked requires -o")
+		os.Exit(1)
+	}
 
 	p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
 	gens := workloads.All()
@@ -40,6 +48,19 @@ func main() {
 		gens = []workloads.Generator{g}
 	}
 	for _, g := range gens {
+		if *chunked {
+			// Stream straight to disk: the trace is never materialized, so
+			// -scale 100 runs generate in chunk-budget-bounded memory.
+			path := *out
+			if len(gens) > 1 {
+				path = filepath.Join(*out, g.Name+".ctrace")
+			}
+			if err := saveChunked(g, p, path, *chunkBudget, *compress); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		fmt.Println(workloads.Describe(g, p))
 		tr := g.Build(p)
 		if *verbose {
@@ -57,6 +78,36 @@ func main() {
 			fmt.Printf("    saved %s\n", path)
 		}
 	}
+}
+
+// saveChunked streams one workload into a chunked (v4) trace file and
+// prints the same characteristics line Describe would, computed from the
+// incremental summary instead of a materialized trace.
+func saveChunked(g workloads.Generator, p workloads.Params, path string, budget int, compress bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	chunks := 0
+	sum, err := g.BuildChunked(p, f, trace.ChunkOptions{
+		Budget:   budget,
+		Compress: compress,
+		OnChunk:  func(index, storedBytes int) { chunks = index + 1 },
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return err
+	}
+	fmt.Println(workloads.DescribeSummary(g, sum))
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    saved %s (%d chunks, %.1fMB)\n", path, chunks, float64(st.Size())/(1<<20))
+	return nil
 }
 
 func dump(tr *trace.Trace) {

@@ -26,6 +26,13 @@
 // and the full design config, so repeated invocations replay from the
 // cache with byte-identical output. -no-cache disables this; -metrics and
 // -events runs always simulate live.
+//
+// -stream replays the workload from a chunked (v4) trace stream instead
+// of a materialized trace: per-run memory stays bounded by -chunk-budget
+// (default 4MB) at any -scale, and results are byte-identical to the
+// materialized path. -tracefile accepts both materialized (v3) and
+// chunked (v4) files, auto-detected; write the latter with
+// tracegen -chunked.
 package main
 
 import (
@@ -93,6 +100,8 @@ func main() {
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
 	intraParallel := flag.Int("intra-parallel", 1, "partitioned-engine worker threads inside each simulation (results are byte-identical at any value)")
+	stream := flag.Bool("stream", false, "generate and replay the workload as a chunked (v4) stream: peak memory stays bounded by the chunk budget instead of the trace size; results are byte-identical")
+	chunkBudget := flag.Int("chunk-budget", 0, "chunk byte budget for -stream (0 = default 4MB)")
 	batched := flag.Bool("batched-translation", false, "warp-level batched translation front-end: page-chunk dedup, inline TLB hit peeling, bulk IOMMU miss submission (deterministic; no-op for designs without per-CU TLBs)")
 	asJSON := flag.Bool("json", false, "emit the full Results struct as JSON (one document per design)")
 	metricsOut := flag.String("metrics", "", "stream interval metrics-registry snapshots to this JSONL file (one labeled record per interval per design)")
@@ -156,19 +165,62 @@ func main() {
 		}
 	}
 
+	// Trace acquisition. Two front ends feed the simulations: a fully
+	// materialized *trace.Trace, or — for -stream runs and chunked (v4)
+	// trace files — a path that each simulation opens its own streaming
+	// cursor over, so the whole trace is never resident.
 	var tr *trace.Trace
+	var streamPath string
+	var s trace.Summary
 	var traceKey artifact.Fingerprint
 	haveKey := false
-	if *traceFile != "" {
+	switch {
+	case *traceFile != "":
 		// An explicit trace file has no derivable cache identity; replay it
-		// as given and compute results live.
-		var err error
-		tr, err = trace.LoadFile(*traceFile)
+		// as given and compute results live. The format is sniffed: v3
+		// loads fully, v4 streams.
+		chunked, err := trace.IsChunkedFile(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	} else {
+		if chunked {
+			streamPath = *traceFile
+			cur, err := trace.OpenCursorFile(streamPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s = cur.Summary()
+			cur.Close()
+		} else {
+			var err error
+			tr, err = trace.LoadFile(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s = tr.Summarize()
+		}
+	case *stream:
+		g, ok := workloads.ByName(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
+			os.Exit(1)
+		}
+		p := workloads.Params{Scale: *scale, NumCUs: *cus, WarpsPerCU: *warps, Seed: *seed}
+		traceKey, haveKey = artifact.TraceKey(g.Name, p), true
+		var temp string
+		var err error
+		streamPath, temp, s, err = chunkedStreamPath(cache, g, p, *chunkBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if temp != "" {
+			defer os.Remove(temp)
+		}
+	default:
 		g, ok := workloads.ByName(*wl)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
@@ -180,14 +232,17 @@ func main() {
 			tr = g.Build(p)
 			cache.PutTrace(traceKey, tr)
 		}
+		s = tr.Summarize()
 	}
 	// Results can come from the cache only when nothing needs a live
 	// simulation (metrics and event sinks do) and the trace identity is
-	// known (a -tracefile trace isn't content-addressed).
+	// known (a -tracefile trace isn't content-addressed). Streamed and
+	// materialized runs share result keys: the front end never changes
+	// results.
 	useResultCache := cache != nil && haveKey && *metricsOut == "" && *eventsOut == ""
-	s := tr.Summarize()
+	wlName := s.Name
 	fmt.Printf("workload %s: %d mem insts, %d coalesced lines, divergence %.2f, %d pages\n",
-		tr.Name, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
+		wlName, s.MemInsts, s.CoalescedLines, s.Divergence, s.DistinctPages)
 
 	// Observability sinks. Trace processes are allocated up front, in
 	// design order, so pids are deterministic regardless of scheduling.
@@ -203,7 +258,7 @@ func main() {
 		}
 		tw = obs.NewTraceWriter(eventsFile)
 		for i, cfg := range cfgs {
-			procs[i] = tw.Process(tr.Name + "/" + cfg.Name)
+			procs[i] = tw.Process(wlName + "/" + cfg.Name)
 		}
 	}
 	snaps := make([][]obs.Snapshot, len(cfgs))
@@ -252,7 +307,19 @@ func main() {
 					snaps[i] = append(snaps[i], s)
 				}))
 			}
-			results[i], errs[i] = sys.RunContext(context.Background(), tr, opts...)
+			if streamPath != "" {
+				// Each simulation streams through its own cursor: one
+				// chunk resident (plus one prefetching) per run.
+				cur, err := trace.OpenCursorFile(streamPath)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i], errs[i] = sys.RunCursor(context.Background(), cur, opts...)
+				cur.Close()
+			} else {
+				results[i], errs[i] = sys.RunContext(context.Background(), tr, opts...)
+			}
 			infos[i], live[i] = sys.IntraInfo()
 			if useResultCache && errs[i] == nil {
 				cache.PutResults(artifact.ResultKey(traceKey, cfg), results[i])
@@ -270,7 +337,7 @@ func main() {
 	printSimSummary(os.Stderr, results, infos, live, simWall)
 
 	if *metricsOut != "" {
-		if err := writeMetrics(*metricsOut, tr.Name, cfgs, snaps); err != nil {
+		if err := writeMetrics(*metricsOut, wlName, cfgs, snaps); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -305,6 +372,48 @@ func main() {
 	if *cacheStats && cache != nil {
 		fmt.Fprintf(os.Stderr, "cache %s: %s\n", cache.Dir(), cache.Stats())
 	}
+}
+
+// chunkedStreamPath materializes the workload's chunked (v4) stream on
+// disk and returns its path. With a cache the stream lives in (and is
+// reused from) the ctrace artifact kind; without one it is generated into
+// a temp file, returned as temp for the caller to remove. Generation
+// writes chunks as the generator emits instructions, so even 100x-scale
+// workloads never hold the whole trace in memory.
+func chunkedStreamPath(cache *artifact.Cache, g workloads.Generator, p workloads.Params, budget int) (path, temp string, s trace.Summary, err error) {
+	opts := trace.ChunkOptions{Budget: budget}
+	if cache != nil {
+		key := artifact.ChunkedTraceKey(g.Name, p)
+		if path, ok := cache.ChunkedTracePath(key); ok {
+			cur, err := trace.OpenCursorFile(path)
+			if err != nil {
+				return "", "", trace.Summary{}, err
+			}
+			s = cur.Summary()
+			cur.Close()
+			return path, "", s, nil
+		}
+		if path, ok := cache.PutChunkedTrace(key, func(w io.Writer) error {
+			s, err = g.BuildChunked(p, w, opts)
+			return err
+		}); ok {
+			return path, "", s, nil
+		}
+		// Fall through to a temp file on cache-write failure.
+	}
+	f, err := os.CreateTemp("", "vcsim-"+g.Name+"-*.ctrace")
+	if err != nil {
+		return "", "", trace.Summary{}, err
+	}
+	s, err = g.BuildChunked(p, f, opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", "", trace.Summary{}, err
+	}
+	return f.Name(), f.Name(), s, nil
 }
 
 // printSimSummary emits the one-line completion summary for the

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -134,7 +135,7 @@ func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		dir = DefaultDir()
 	}
-	for _, sub := range []string{"trace", "result"} {
+	for _, sub := range []string{"trace", "result", "ctrace"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
 			return nil, fmt.Errorf("artifact: opening cache: %w", err)
 		}
@@ -197,6 +198,15 @@ func TraceKey(workload string, p workloads.Params) Fingerprint {
 		trace.FormatVersion, workloads.GeneratorVersion)
 }
 
+// ChunkedTraceKey fingerprints a chunked (v4) trace stream. The chunk
+// budget is deliberately absent: chunk geometry is a storage detail that
+// never changes simulation results (the streaming differential tests pin
+// this), so streams cut at different budgets are interchangeable.
+func ChunkedTraceKey(workload string, p workloads.Params) Fingerprint {
+	return fingerprint.Hash("vcache/ctrace", workload, p.Normalized(),
+		trace.ChunkFormatVersion, workloads.GeneratorVersion)
+}
+
 // ResultKey fingerprints everything that determines simulation results: the
 // input trace (via its cache key) and the full simulator configuration
 // (core.ConfigFingerprint covers every exported Config field and
@@ -239,6 +249,66 @@ func (c *Cache) PutTrace(key Fingerprint, tr *trace.Trace) {
 		return
 	}
 	c.put("trace", key, buf.Bytes())
+}
+
+// ChunkedTracePath returns the on-disk path of the chunked trace stream
+// cached under key, validating it first (header, footer, and chunk-frame
+// structure — an O(chunks) scan, no payload pass). Unlike GetTrace the
+// entry is not loaded into memory: callers open cursors straight off the
+// file, which is the whole point of the chunked format. A corrupt entry
+// counts as a miss; payload damage beyond the structural scan is still
+// caught by the cursor's per-chunk checksums at replay time.
+func (c *Cache) ChunkedTracePath(key Fingerprint) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	path := c.path("ctrace", key)
+	cur, err := trace.OpenCursorFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.corrupt.Add(1)
+		}
+		c.traceMisses.Add(1)
+		return "", false
+	}
+	cur.Close()
+	c.traceHits.Add(1)
+	return path, true
+}
+
+// PutChunkedTrace streams a freshly generated chunked trace into the
+// cache: gen writes the v4 stream directly to a temp file in the cache
+// directory, which is atomically renamed into place on success. Returns
+// the final path. Raw v4 bytes are stored without the artifact envelope —
+// the format carries its own per-chunk and footer checksums, and wrapping
+// would force cursor opens through a copy. Errors are counted, not
+// returned ("", false): the caller regenerates in memory instead.
+func (c *Cache) PutChunkedTrace(key Fingerprint, gen func(io.Writer) error) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	dst := c.path("ctrace", key)
+	f, err := os.CreateTemp(filepath.Dir(dst), "."+key.String()[:16]+".tmp*")
+	if err != nil {
+		c.errors.Add(1)
+		return "", false
+	}
+	err = gen(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		c.errors.Add(1)
+		return "", false
+	}
+	if st, serr := os.Stat(dst); serr == nil {
+		c.bytesWritten.Add(uint64(st.Size()))
+	}
+	return dst, true
 }
 
 // GetResults loads the results cached under key; ok reports a hit.

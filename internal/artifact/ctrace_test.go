@@ -1,0 +1,110 @@
+package artifact
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+func TestChunkedTraceRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ChunkedTraceKey("t", workloads.Params{})
+	if _, ok := c.ChunkedTracePath(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	tr := testTrace()
+	path, ok := c.PutChunkedTrace(key, func(w io.Writer) error {
+		return tr.WriteChunked(w, trace.ChunkOptions{})
+	})
+	if !ok {
+		t.Fatal("PutChunkedTrace failed")
+	}
+	got, ok := c.ChunkedTracePath(key)
+	if !ok || got != path {
+		t.Fatalf("ChunkedTracePath = %q, %v; want %q, true", got, ok, path)
+	}
+	cur, err := trace.OpenCursorFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	mat, err := cur.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, have bytes.Buffer
+	if err := tr.Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := mat.Write(&have); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatal("cached chunked stream does not materialize to the original trace")
+	}
+	st := c.Stats()
+	if st.TraceHits != 1 || st.TraceMisses != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss", st)
+	}
+}
+
+func TestChunkedTraceCorruptEntryMisses(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ChunkedTraceKey("t", workloads.Params{})
+	tr := testTrace()
+	path, ok := c.PutChunkedTrace(key, func(w io.Writer) error {
+		return tr.WriteChunked(w, trace.ChunkOptions{})
+	})
+	if !ok {
+		t.Fatal("PutChunkedTrace failed")
+	}
+	// Truncate the file: the structural scan at open must reject it.
+	if err := os.Truncate(path, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.ChunkedTracePath(key); ok {
+		t.Fatal("hit on truncated entry")
+	}
+	if st := c.Stats(); st.Corrupt == 0 {
+		t.Fatalf("stats = %+v; want corrupt > 0", st)
+	}
+}
+
+func TestChunkedTraceKeyIgnoresBudget(t *testing.T) {
+	// Chunk geometry is a storage detail: the key depends only on workload
+	// identity, params and format/generator versions.
+	a := ChunkedTraceKey("t", workloads.Params{Scale: 2})
+	b := ChunkedTraceKey("t", workloads.Params{Scale: 2})
+	if a != b {
+		t.Fatal("key not deterministic")
+	}
+	if a == ChunkedTraceKey("t", workloads.Params{Scale: 3}) {
+		t.Fatal("key ignores params")
+	}
+	if a == TraceKey("t", workloads.Params{Scale: 2}) {
+		t.Fatal("chunked and materialized trace keys collide")
+	}
+	if a == ChunkedTraceKey("u", workloads.Params{Scale: 2}) {
+		t.Fatal("key ignores workload name")
+	}
+}
+
+func TestChunkedTraceNilCache(t *testing.T) {
+	var c *Cache
+	if _, ok := c.ChunkedTracePath(Fingerprint{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	if _, ok := c.PutChunkedTrace(Fingerprint{}, func(io.Writer) error { return nil }); ok {
+		t.Fatal("nil cache put succeeded")
+	}
+}

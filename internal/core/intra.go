@@ -6,7 +6,6 @@ import (
 
 	"vcache/internal/noc"
 	"vcache/internal/sim"
-	"vcache/internal/trace"
 )
 
 // Intra-run parallelism: the partitioned event engine.
@@ -227,17 +226,20 @@ func (s *System) enableIntra(req int, traced bool) {
 
 // runIntra is RunContext's partitioned-engine body: identical
 // preparation, but execution proceeds in conservative windows with
-// cancellation, metrics snapshots, and progress serviced at barriers.
-func (s *System) runIntra(ctx context.Context, tr *trace.Trace, o *options) (Results, error) {
-	s.contextSwitch(tr.ASID)
-	s.Prepare(tr)
+// cancellation, metrics snapshots, and progress serviced at barriers. A
+// streamed input's cursor is shared by all partition workers (its segment
+// hand-off is mutex-guarded), and refills are host work, so the windowed
+// schedule is unchanged.
+func (s *System) runIntra(ctx context.Context, in traceInput, o *options) (Results, error) {
+	s.contextSwitch(in.inASID())
+	in.prepare(s)
 	s.enableIntra(o.intra, o.events != nil)
 	if o.events != nil {
 		// Re-attach so each emitter stamps with its partition's clock.
 		s.AttachTrace(o.events)
 	}
 	completed := false
-	s.gpu.Launch(tr, func() {
+	in.launch(s, func() {
 		completed = true
 		s.finishCycle = s.eng.Now()
 	})
@@ -274,11 +276,14 @@ func (s *System) runIntra(ctx context.Context, tr *trace.Trace, o *options) (Res
 	if err != nil {
 		return Results{}, err
 	}
+	if e := in.finishErr(); e != nil {
+		return Results{}, e
+	}
 	if !completed {
 		return Results{}, ErrDeadlock
 	}
 	s.io.ExtendSampling()
-	res := s.results(tr)
+	res := s.results(in.name())
 	if o.wantsMetrics() {
 		s.emitSnapshot(o)
 	}

@@ -94,9 +94,9 @@ func (r Results) String() string {
 }
 
 // results assembles the Results snapshot after a run.
-func (s *System) results(tr *trace.Trace) Results {
+func (s *System) results(workload string) Results {
 	r := Results{
-		Workload: tr.Name,
+		Workload: workload,
 		Design:   s.cfg.Name,
 		Kind:     s.cfg.Kind,
 		Cycles:   s.finishCycle,
@@ -201,4 +201,16 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace, opts ...Option
 		return Results{}, err
 	}
 	return s.RunContext(ctx, tr, opts...)
+}
+
+// RunCursor assembles a system for cfg and replays a streamed chunked
+// trace under ctx. Results are byte-identical to RunContext over the
+// materialized equivalent, but peak memory stays bounded by the cursor's
+// chunk window instead of the whole trace.
+func RunCursor(ctx context.Context, cfg Config, c *trace.Cursor, opts ...Option) (Results, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.RunCursor(ctx, c, opts...)
 }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"vcache/internal/obs"
+	"vcache/internal/trace"
+	"vcache/internal/workloads"
+)
+
+// streamTestParams keeps the full-catalog differential affordable while
+// still running every CU configuration path.
+func streamTestParams() workloads.Params {
+	return workloads.Params{Scale: 1, NumCUs: 8, WarpsPerCU: 4, Seed: 42}
+}
+
+// chunkWorkload streams g at a deliberately tiny budget so every
+// workload crosses several chunk boundaries mid-warp.
+func chunkWorkload(t *testing.T, g workloads.Generator, p workloads.Params) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := g.BuildChunked(p, &buf, trace.ChunkOptions{Budget: 1 << 12}); err != nil {
+		t.Fatalf("BuildChunked(%s): %v", g.Name, err)
+	}
+	return buf.Bytes()
+}
+
+// runMaterialized and runStreamed are the two sides of the differential:
+// identical configs and observability, different trace front ends.
+func runMaterialized(t *testing.T, cfg Config, tr *trace.Trace, workers int) (Results, obs.Snapshot) {
+	t.Helper()
+	var last obs.Snapshot
+	opts := []Option{WithMetricsSnapshot(func(s obs.Snapshot) { last = s })}
+	if workers > 1 {
+		opts = append(opts, WithIntraParallelism(workers))
+	}
+	res, err := RunContext(context.Background(), cfg, tr, opts...)
+	if err != nil {
+		t.Fatalf("RunContext(workers=%d): %v", workers, err)
+	}
+	return res, last
+}
+
+func runStreamed(t *testing.T, cfg Config, raw []byte, workers int) (Results, obs.Snapshot) {
+	t.Helper()
+	c, err := trace.NewCursor(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewCursor: %v", err)
+	}
+	defer c.Close()
+	var last obs.Snapshot
+	opts := []Option{WithMetricsSnapshot(func(s obs.Snapshot) { last = s })}
+	if workers > 1 {
+		opts = append(opts, WithIntraParallelism(workers))
+	}
+	res, err := RunCursor(context.Background(), cfg, c, opts...)
+	if err != nil {
+		t.Fatalf("RunCursor(workers=%d): %v", workers, err)
+	}
+	return res, last
+}
+
+// TestStreamedRunMatchesMaterialized is the acceptance differential for
+// the streaming front end: for every workload in the catalog, replaying
+// the chunked stream must produce byte-identical Results (EncodeResults)
+// and identical final metrics snapshots as simulating the fully
+// materialized trace, on both the legacy engine and the partitioned
+// engine at 4 workers.
+func TestStreamedRunMatchesMaterialized(t *testing.T) {
+	p := streamTestParams()
+	cfg := DesignVCOpt()
+	for _, g := range workloads.All() {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := g.Build(p)
+			raw := chunkWorkload(t, g, p)
+			for _, workers := range []int{1, 4} {
+				wantRes, wantSnap := runMaterialized(t, cfg, tr, workers)
+				if wantRes.Cycles == 0 || wantRes.GPU.Instructions == 0 {
+					t.Fatalf("degenerate materialized run: %+v", wantRes)
+				}
+				gotRes, gotSnap := runStreamed(t, cfg, raw, workers)
+				if !bytes.Equal(EncodeResults(gotRes), EncodeResults(wantRes)) {
+					t.Errorf("workers=%d: streamed Results bytes diverge\nmaterialized: %+v\nstreamed: %+v",
+						workers, wantRes, gotRes)
+				}
+				if !reflect.DeepEqual(wantSnap, gotSnap) {
+					t.Errorf("workers=%d: final metrics snapshot diverges between front ends", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamedRunAcrossDesigns spot-checks the differential on the other
+// MMU designs (all four translation paths) with one representative
+// high-bandwidth workload.
+func TestStreamedRunAcrossDesigns(t *testing.T) {
+	p := streamTestParams()
+	g, ok := workloads.ByName("pagerank")
+	if !ok {
+		t.Fatal("pagerank missing")
+	}
+	tr := g.Build(p)
+	raw := chunkWorkload(t, g, p)
+	for _, cfg := range []Config{DesignBaseline512(), DesignL1OnlyVC(512), DesignIdeal()} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			wantRes, _ := runMaterialized(t, cfg, tr, 1)
+			gotRes, _ := runStreamed(t, cfg, raw, 1)
+			if !bytes.Equal(EncodeResults(gotRes), EncodeResults(wantRes)) {
+				t.Errorf("streamed Results bytes diverge\nmaterialized: %+v\nstreamed: %+v", wantRes, gotRes)
+			}
+		})
+	}
+}
+
+// TestStreamedRunTruncatedStreamFails ensures a damaged stream fails the
+// run rather than silently simulating a shorter trace.
+func TestStreamedRunTruncatedStreamFails(t *testing.T) {
+	p := streamTestParams()
+	g, _ := workloads.ByName("kmeans")
+	raw := chunkWorkload(t, g, p)
+
+	// Corrupt a byte in the middle of the chunk payload region. Cursor
+	// open still succeeds (structure and footer intact); the damage only
+	// surfaces at decode time, mid-run.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x40
+	c, err := trace.NewCursor(bytes.NewReader(bad))
+	if err != nil {
+		t.Skipf("corruption detected at open (%v); decode-time path not reachable", err)
+	}
+	defer c.Close()
+	if _, err := RunCursor(context.Background(), DesignIdeal(), c); err == nil {
+		t.Fatal("RunCursor on corrupted stream succeeded; want error")
+	}
+}

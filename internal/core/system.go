@@ -124,8 +124,8 @@ type cuCounters struct {
 	remapHits     uint64
 	l1FullFlushes uint64
 	batch         BatchStats // batched translation front-end activity
-	tlbLife       stats.CDF // per-CU TLB entry residence (TrackLifetimes)
-	l1Life        stats.CDF // L1 line active lifetime (TrackLifetimes)
+	tlbLife       stats.CDF  // per-CU TLB entry residence (TrackLifetimes)
+	l1Life        stats.CDF  // L1 line active lifetime (TrackLifetimes)
 	waitPool      [][]func(memory.PTE, bool)
 }
 
@@ -482,6 +482,50 @@ func (s *System) Prepare(tr *trace.Trace) {
 	}
 }
 
+// PrepareCursor demand-maps every page a streamed trace touches, in the
+// footer's recorded first-touch order — the exact order Prepare walks the
+// materialized equivalent — so sequential frame assignment, and therefore
+// every physically-indexed structure downstream, is byte-identical
+// between the two paths.
+func (s *System) PrepareCursor(c *trace.Cursor) {
+	for _, vpn := range c.Premap() {
+		if s.cfg.LargePages {
+			s.as.EnsureMappedLarge(vpn.Base())
+		} else {
+			s.as.EnsureMapped(vpn.Base())
+		}
+	}
+}
+
+// traceInput abstracts the two ways a trace reaches the system: fully
+// materialized (trace.Trace) or streamed chunk by chunk (trace.Cursor).
+// Run bodies are written once against this interface; the streamed form
+// adds only a post-run error check (a truncated or corrupt stream ends
+// warps early, which must fail the run, not shorten it).
+type traceInput interface {
+	name() string
+	inASID() memory.ASID
+	prepare(s *System)
+	launch(s *System, onComplete func())
+	finishErr() error
+}
+
+type materializedInput struct{ tr *trace.Trace }
+
+func (m materializedInput) name() string                  { return m.tr.Name }
+func (m materializedInput) inASID() memory.ASID           { return m.tr.ASID }
+func (m materializedInput) prepare(s *System)             { s.Prepare(m.tr) }
+func (m materializedInput) launch(s *System, done func()) { s.gpu.Launch(m.tr, done) }
+func (m materializedInput) finishErr() error              { return nil }
+
+type cursorInput struct{ c *trace.Cursor }
+
+func (ci cursorInput) name() string                  { return ci.c.Name() }
+func (ci cursorInput) inASID() memory.ASID           { return ci.c.ASID() }
+func (ci cursorInput) prepare(s *System)             { s.PrepareCursor(ci.c) }
+func (ci cursorInput) launch(s *System, done func()) { s.gpu.LaunchStream(ci.c, done) }
+func (ci cursorInput) finishErr() error              { return ci.c.Err() }
+
 // Run prepares and executes the trace to completion, returning results.
 // It panics on a modeling deadlock; RunContext is the error-returning,
 // cancellable, observable form.
@@ -498,7 +542,7 @@ func (s *System) Run(tr *trace.Trace) Results {
 		panic(ErrDeadlock)
 	}
 	s.io.ExtendSampling()
-	return s.results(tr)
+	return s.results(tr.Name)
 }
 
 // RunContext prepares and executes the trace to completion, honouring ctx
@@ -512,6 +556,20 @@ func (s *System) Run(tr *trace.Trace) Results {
 // different but equally deterministic schedule, byte-identical for every
 // worker count (see intra.go).
 func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option) (Results, error) {
+	return s.runInput(ctx, materializedInput{tr}, opts)
+}
+
+// RunCursor is RunContext over a streamed chunked trace: the GPU pulls
+// instruction segments from the cursor as warps advance, so peak memory
+// stays bounded by the cursor's chunk window no matter how long the trace
+// is. The event schedule — and therefore Results, at any parallelism — is
+// byte-identical to RunContext over the materialized equivalent. A stream
+// that fails mid-run (truncation, corruption) returns the cursor's error.
+func (s *System) RunCursor(ctx context.Context, c *trace.Cursor, opts ...Option) (Results, error) {
+	return s.runInput(ctx, cursorInput{c}, opts)
+}
+
+func (s *System) runInput(ctx context.Context, in traceInput, opts []Option) (Results, error) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -523,13 +581,13 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option
 		s.enableBatching()
 	}
 	if o.intra > 0 {
-		return s.runIntra(ctx, tr, &o)
+		return s.runIntra(ctx, in, &o)
 	}
 
-	s.contextSwitch(tr.ASID)
-	s.Prepare(tr)
+	s.contextSwitch(in.inASID())
+	in.prepare(s)
 	completed := false
-	s.gpu.Launch(tr, func() {
+	in.launch(s, func() {
 		completed = true
 		s.finishCycle = s.eng.Now()
 	})
@@ -553,11 +611,14 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace, opts ...Option
 			break // queue drained
 		}
 	}
+	if err := in.finishErr(); err != nil {
+		return Results{}, err
+	}
 	if !completed {
 		return Results{}, ErrDeadlock
 	}
 	s.io.ExtendSampling()
-	res := s.results(tr)
+	res := s.results(in.name())
 	if o.wantsMetrics() {
 		s.emitSnapshot(&o) // final totals at the end-of-run cycle
 	}

@@ -13,9 +13,11 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,34 +30,52 @@ import (
 	"vcache/internal/workloads"
 )
 
-// RunEvent describes one completed simulation, delivered to the suite's
-// Progress callback.
+// RunEvent describes one unit of suite progress, delivered to the
+// Progress callback. Stage "" (the default) is a completed simulation;
+// stage "trace.gen" reports chunked trace generation, one event per chunk
+// cut, so long generations are visible while they stream.
 type RunEvent struct {
 	Workload string
-	Design   string
-	Cycles   uint64        // simulated GPU cycles
+	Design   string        // empty for trace-generation events
+	Cycles   uint64        // simulated GPU cycles (simulation events)
 	Wall     time.Duration // wall-clock time the simulation took
 	// Cached marks a result loaded from the artifact cache instead of
-	// simulated; Wall is then the load time.
+	// simulated (or, for trace.gen, a stream reused from disk); Wall is
+	// then the load time.
 	Cached bool
+	// Stage distinguishes event kinds: "" for simulations, "trace.gen"
+	// for chunked trace generation.
+	Stage string
+	// Chunk and Bytes describe trace.gen progress: the chunk index just
+	// cut and the stream bytes written so far.
+	Chunk int
+	Bytes int64
 }
 
-// ProgressFunc receives one RunEvent per completed simulation. Calls are
+// ProgressFunc receives one RunEvent per completed simulation (and per
+// generated trace chunk when the suite streams traces). Calls are
 // serialized, so implementations need no locking of their own.
 type ProgressFunc func(RunEvent)
 
 // ProgressWriter adapts an io.Writer to a ProgressFunc, reproducing the
-// suite's historical progress-line format byte for byte (cache hits, which
-// did not exist historically, are marked).
+// suite's historical progress-line format byte for byte (cache hits and
+// trace.gen lines, which did not exist historically, are marked).
 func ProgressWriter(w io.Writer) ProgressFunc {
 	return func(ev RunEvent) {
-		if ev.Cached {
+		switch {
+		case ev.Stage == "trace.gen" && ev.Cached:
+			fmt.Fprintf(w, "  gen %-14s cached stream (%.1fMB)\n",
+				ev.Workload, float64(ev.Bytes)/(1<<20))
+		case ev.Stage == "trace.gen":
+			fmt.Fprintf(w, "  gen %-14s chunk %4d  %8.1fMB\n",
+				ev.Workload, ev.Chunk, float64(ev.Bytes)/(1<<20))
+		case ev.Cached:
 			fmt.Fprintf(w, "  hit %-14s %-22s %9d cycles  (cached)\n",
 				ev.Workload, ev.Design, ev.Cycles)
-			return
+		default:
+			fmt.Fprintf(w, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
+				ev.Workload, ev.Design, ev.Cycles, ev.Wall.Seconds())
 		}
-		fmt.Fprintf(w, "  ran %-14s %-22s %9d cycles  (%.1fs)\n",
-			ev.Workload, ev.Design, ev.Cycles, ev.Wall.Seconds())
 	}
 }
 
@@ -100,11 +120,24 @@ type Suite struct {
 	// EventTrace is set, since those need an actual simulation; traces are
 	// cached regardless.
 	Cache *artifact.Cache
+	// StreamTraces replays workloads from chunked (v4) streams instead of
+	// materialized traces: generation emits chunks as they are produced
+	// (bounded by ChunkBudget, with per-chunk Progress events) and each
+	// simulation reads one chunk ahead through a cursor, so peak memory is
+	// bounded by the chunk window rather than the trace size. With a Cache
+	// attached the stream lives on disk and cache hits replay straight off
+	// the file; without one it is held in memory. Results are
+	// byte-identical to materialized replay at any budget.
+	StreamTraces bool
+	// ChunkBudget is the per-chunk byte target for StreamTraces
+	// (0 = trace.DefaultChunkBudget).
+	ChunkBudget int
 
 	gens []workloads.Generator
 
-	mu      sync.Mutex // guards the traces and results maps
+	mu      sync.Mutex // guards the traces, ctraces and results maps
 	traces  map[string]*traceCall
+	ctraces map[string]*ctraceCall
 	results map[string]*runCall
 
 	progressMu sync.Mutex
@@ -124,11 +157,21 @@ type runCall struct {
 	snap obs.Snapshot // end-of-run metrics, when CaptureMetrics is set
 }
 
+// ctraceCall is the singleflight slot for one workload's chunked stream:
+// a file path when the stream lives in the artifact cache, raw bytes when
+// the suite has no cache to stream from.
+type ctraceCall struct {
+	done chan struct{}
+	path string
+	raw  []byte
+}
+
 // New builds a suite over the named workloads (empty = the full catalog).
 func New(p workloads.Params, subset []string) (*Suite, error) {
 	s := &Suite{
 		Params:  p,
 		traces:  make(map[string]*traceCall),
+		ctraces: make(map[string]*ctraceCall),
 		results: make(map[string]*runCall),
 	}
 	if len(subset) == 0 {
@@ -206,6 +249,76 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 	return c.tr, nil
 }
 
+// chunkedStream builds (and memoizes) the named workload's chunked (v4)
+// stream. With a cache attached the stream is generated straight into the
+// cache file — a later process streams it off disk without regenerating —
+// and per-chunk Progress events fire as generation proceeds.
+func (s *Suite) chunkedStream(name string) (*ctraceCall, error) {
+	g, ok := s.generator(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: workload %q not in suite", name)
+	}
+	s.mu.Lock()
+	if c, ok := s.ctraces[name]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c, nil
+	}
+	c := &ctraceCall{done: make(chan struct{})}
+	s.ctraces[name] = c
+	s.mu.Unlock()
+	defer close(c.done)
+
+	key := artifact.ChunkedTraceKey(name, s.Params)
+	if path, ok := s.Cache.ChunkedTracePath(key); ok {
+		c.path = path
+		var size int64
+		if st, err := os.Stat(path); err == nil {
+			size = st.Size()
+		}
+		s.emit(RunEvent{Workload: name, Stage: "trace.gen", Cached: true, Bytes: size})
+		return c, nil
+	}
+	var written int64
+	opts := trace.ChunkOptions{
+		Budget: s.ChunkBudget,
+		OnChunk: func(index, storedBytes int) {
+			written += int64(storedBytes)
+			s.emit(RunEvent{Workload: name, Stage: "trace.gen", Chunk: index, Bytes: written})
+		},
+	}
+	if s.Cache != nil {
+		if path, ok := s.Cache.PutChunkedTrace(key, func(w io.Writer) error {
+			_, err := g.BuildChunked(s.Params, w, opts)
+			return err
+		}); ok {
+			c.path = path
+			return c, nil
+		}
+		// A failed cache write (read-only or full directory) degrades to an
+		// in-memory stream, like every other artifact Put failure.
+	}
+	var buf bytes.Buffer
+	if _, err := g.BuildChunked(s.Params, &buf, opts); err != nil {
+		return nil, fmt.Errorf("experiments: streaming %s: %w", name, err)
+	}
+	c.raw = buf.Bytes()
+	return c, nil
+}
+
+// openCursor opens a fresh cursor over the workload's chunked stream
+// (each simulation consumes its own cursor).
+func (s *Suite) openCursor(name string) (*trace.Cursor, error) {
+	c, err := s.chunkedStream(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.path != "" {
+		return trace.OpenCursorFile(c.path)
+	}
+	return trace.NewCursor(bytes.NewReader(c.raw))
+}
+
 // cachesResults reports whether Run may serve results from the artifact
 // cache: metrics capture and event tracing need a live simulation.
 func (s *Suite) cachesResults() bool {
@@ -273,18 +386,31 @@ func (s *Suite) run(wl string, cfg core.Config, intra int) core.Results {
 			return c.res
 		}
 	}
-	tr, err := s.Trace(wl)
-	if err != nil {
-		panic(err) // unreachable: membership was validated above
-	}
 	sys := core.MustNew(cfg)
 	opts := []core.Option{core.WithIntraParallelism(intra)}
 	if s.EventTrace != nil {
 		opts = append(opts, core.WithEventTrace(s.EventTrace.Process(wl+"/"+cfg.Name)))
 	}
-	res, err := sys.RunContext(context.Background(), tr, opts...)
-	if err != nil {
-		panic(err) // ErrDeadlock: a modeling bug, matching System.Run
+	var res core.Results
+	if s.StreamTraces {
+		cur, err := s.openCursor(wl)
+		if err != nil {
+			panic(fmt.Errorf("experiments: opening %s stream: %w", wl, err))
+		}
+		res, err = sys.RunCursor(context.Background(), cur, opts...)
+		cur.Close()
+		if err != nil {
+			panic(err) // ErrDeadlock or a corrupted stream chunk
+		}
+	} else {
+		tr, err := s.Trace(wl)
+		if err != nil {
+			panic(err) // unreachable: membership was validated above
+		}
+		res, err = sys.RunContext(context.Background(), tr, opts...)
+		if err != nil {
+			panic(err) // ErrDeadlock: a modeling bug, matching System.Run
+		}
 	}
 	c.res = res
 	if s.CaptureMetrics {

@@ -172,6 +172,10 @@ func (s *Suite) RunAll(reqs []RunRequest) error {
 		}
 	}
 	err := forEachLimit(len(needed), s.workers(), func(i int) error {
+		if s.StreamTraces {
+			_, err := s.chunkedStream(needed[i])
+			return err
+		}
 		_, err := s.Trace(needed[i])
 		return err
 	})

@@ -43,6 +43,22 @@ type BatchedPath interface {
 	AccessLines(cu int, lines []memory.VAddr, write bool, done func())
 }
 
+// StreamSource feeds warp instruction streams incrementally, so a trace
+// far larger than memory can replay in bounded space (trace.Cursor is the
+// canonical implementation). NextSegment returns the next contiguous
+// piece of (cu, warp)'s stream, or ok=false once the stream is exhausted;
+// WarpLen must report the full per-warp instruction count up front so
+// launch decisions (which warp contexts are live) match the materialized
+// trace exactly. NextSegment is called from simulation event context —
+// possibly concurrently from partitioned engines — and may block on I/O
+// or decode; that time is host time, invisible to the simulated clock.
+type StreamSource interface {
+	NumCUs() int
+	NumWarps(cu int) int
+	WarpLen(cu, warp int) uint64
+	NextSegment(cu, warp int) (trace.Segment, bool)
+}
+
 // Config describes the GPU front-end.
 type Config struct {
 	// NumCUs is the compute unit count (paper: 16).
@@ -122,7 +138,9 @@ type warp struct {
 	g       *GPU
 	cu      *cu
 	stream  trace.WarpTrace
-	arena   []memory.VAddr // owning trace's lane-address arena
+	arena   []memory.VAddr // owning trace's (or current segment's) arena
+	src     StreamSource   // non-nil: refill stream/arena segment by segment
+	wi      int            // warp index within the CU (for src refills)
 	pc      int
 	pending int
 	waiting bool // at a barrier
@@ -222,6 +240,40 @@ func (g *GPU) Launch(tr *trace.Trace, onComplete func()) {
 	}
 }
 
+// LaunchStream is Launch for an incrementally-fed trace: warp contexts
+// with a non-zero total instruction count are bound and scheduled exactly
+// as Launch binds materialized streams, but each warp pulls its
+// instructions segment by segment from src as it executes. The event
+// schedule is identical to a Launch of the materialized equivalent —
+// refills are pure host work inside the same warp event.
+func (g *GPU) LaunchStream(src StreamSource, onComplete func()) {
+	if src.NumCUs() > len(g.cus) {
+		panic(fmt.Sprintf("gpu: trace wants %d CUs, GPU has %d", src.NumCUs(), len(g.cus)))
+	}
+	g.onComplete = onComplete
+	for ci := 0; ci < src.NumCUs(); ci++ {
+		c := g.cus[ci]
+		for wi := 0; wi < src.NumWarps(ci); wi++ {
+			if src.WarpLen(ci, wi) == 0 {
+				continue
+			}
+			w := &warp{g: g, cu: c, src: src, wi: wi}
+			w.lineDone = w.onLineDone
+			c.warps = append(c.warps, w)
+			g.liveWarps++
+		}
+	}
+	if g.liveWarps == 0 {
+		g.eng.Schedule(0, g.complete)
+		return
+	}
+	for _, c := range g.cus {
+		for _, w := range c.warps {
+			c.eng.ScheduleEvent(0, w, warpStep)
+		}
+	}
+}
+
 // LiveWarps returns the number of unfinished warps.
 func (g *GPU) LiveWarps() int { return g.liveWarps }
 
@@ -247,11 +299,16 @@ func (w *warp) Handle(arg uint64) {
 	}
 }
 
-// step executes the warp's next instruction.
+// step executes the warp's next instruction, refilling the stream from
+// the segment source when streaming. The refill loop tolerates empty
+// segments; an exhausted (or failed — the source reports both as ok=false)
+// stream finishes the warp exactly where a materialized stream would end.
 func (w *warp) step() {
-	if w.pc >= len(w.stream) {
-		w.finish()
-		return
+	for w.pc >= len(w.stream) {
+		if w.src == nil || !w.refill() {
+			w.finish()
+			return
+		}
 	}
 	in := w.stream[w.pc]
 	g, c := w.g, w.cu
@@ -292,6 +349,20 @@ func (g *GPU) barrierArrive() {
 func (w *warp) next() {
 	w.pc++
 	w.step()
+}
+
+// refill swaps in the warp's next stream segment. Pure host work: no
+// events are scheduled, so streamed and materialized replays produce the
+// same event sequence.
+func (w *warp) refill() bool {
+	seg, ok := w.src.NextSegment(w.cu.id, w.wi)
+	if !ok {
+		return false
+	}
+	w.stream = seg.Insts
+	w.arena = seg.Arena
+	w.pc = 0
+	return true
 }
 
 func (w *warp) finish() {

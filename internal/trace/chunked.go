@@ -1,0 +1,611 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"vcache/internal/memory"
+)
+
+// File format v4: a chunked streaming encoding of the same trace model as
+// v3, replayable in bounded memory.
+//
+//	header    magic [8]byte "VCTRACE" + 4
+//	          flags uvarint (bit 0: chunk payloads are flate-compressed)
+//	          name uvarint length + bytes, asid uvarint
+//	          numCUs uvarint, per CU: numWarps uvarint
+//	          crc64 (8 bytes, ECMA) over everything above
+//	chunks    repeated:
+//	          marker byte 0xC4
+//	          payloadLen uvarint (stored bytes), rawLen uvarint (decoded)
+//	          payload (possibly compressed); decoded payload:
+//	            numSegments uvarint
+//	            per segment: cu uvarint, warp uvarint, numInsts uvarint,
+//	                         numInsts fixed 15-byte records (as v3)
+//	            arenaLen uvarint, 8-byte little-endian VAddrs
+//	          crc64 (8 bytes) over the stored payload bytes
+//	footer    marker byte 0xF4, then (all crc'd):
+//	          numChunks uvarint
+//	          chunk-crc rollup: crc64 over the concatenated per-chunk crcs
+//	          premap: count uvarint + VPN uvarints, in the exact page
+//	            first-touch order of the equivalent materialized trace
+//	          per-warp totals: per CU, per warp: uvarint instruction count
+//	          summary: the trace Summary (uvarint counters + float bits)
+//	          crc64 (8 bytes) over the footer body
+//	trailer   footer offset (8 bytes LE) + magic [8]byte "VCTRAIL" + 4
+//
+// Chunks slice the instruction streams along the time axis: each chunk
+// carries a contiguous segment of every active warp's stream plus a
+// chunk-local lane-address arena (Off fields are chunk-local). A reader
+// therefore replays warp-by-warp with only a bounded window of chunks
+// resident, while per-warp totals (for launch decisions) and the premap
+// page order (for deterministic frame assignment) ride in the footer.
+//
+// The footer lives at the end because the writer only knows totals,
+// premap order and the summary after the last instruction; the fixed-size
+// trailer makes it discoverable, which is why a Cursor requires a
+// seekable input. Everything header-declared is capped before allocation
+// and every payload is checksummed, so a corrupt or truncated file fails
+// decoding cleanly instead of misdecoding (see FuzzChunkRoundTrip).
+const ChunkFormatVersion = 4
+
+var (
+	chunkFileMagic    = [8]byte{'V', 'C', 'T', 'R', 'A', 'C', 'E', ChunkFormatVersion}
+	chunkTrailerMagic = [8]byte{'V', 'C', 'T', 'R', 'A', 'I', 'L', ChunkFormatVersion}
+)
+
+const (
+	chunkMarker  = 0xC4
+	footerMarker = 0xF4
+	trailerBytes = 16 // footer offset + trailer magic
+
+	flagCompressed = 1 << 0
+
+	// maxChunkBytes caps a single chunk's stored and decoded size; the
+	// writer never exceeds the configured budget by more than one
+	// instruction, but the reader must bound hostile declarations.
+	maxChunkBytes = 1 << 30
+	maxChunks     = 1 << 30
+	maxPremap     = 1 << 28 // distinct 4KB pages (1TB footprint)
+
+	// DefaultChunkBudget is the approximate decoded chunk size the writer
+	// cuts at when ChunkOptions.Budget is zero: big enough that chunk
+	// framing is noise, small enough that a handful of resident chunks
+	// stay far under any materialized trace worth streaming.
+	DefaultChunkBudget = 4 << 20
+)
+
+// ChunkOptions configures a ChunkWriter.
+type ChunkOptions struct {
+	// Budget is the approximate decoded size, in bytes, at which the
+	// writer cuts a chunk (0 = DefaultChunkBudget). Device barriers cut
+	// earlier (at Budget/4) so chunk boundaries prefer points where every
+	// warp resynchronizes, bounding how many chunks a replay holds live.
+	Budget int
+	// Compress flate-compresses chunk payloads. Decoding cost is paid on
+	// the reader's prefetch goroutine, not the simulation event loop.
+	Compress bool
+	// OnChunk, when non-nil, observes every cut: chunk index and the
+	// stored payload size. Generators surface this as progress.
+	OnChunk func(index int, storedBytes int)
+}
+
+// Segment is a contiguous piece of one warp's instruction stream. Insts
+// reference Arena (not a whole-trace arena) via their Off fields.
+type Segment struct {
+	Insts []Inst
+	Arena []memory.VAddr
+}
+
+// pagePos orders page first-touches the way System.Prepare walks a
+// materialized trace: cu-major warp order, then instruction order within
+// the warp, then lane order. pos packs instruction index and lane.
+type pagePos struct {
+	gw  uint32 // cu*warpsPerCU + warp
+	pos uint64 // instIdx<<16 | lane
+}
+
+func (a pagePos) less(b pagePos) bool {
+	if a.gw != b.gw {
+		return a.gw < b.gw
+	}
+	return a.pos < b.pos
+}
+
+// ChunkWriter streams a trace to w in format v4. Instructions are
+// appended warp by warp in generation order; the writer cuts chunks at
+// the configured budget, accumulates the footer (premap order, per-warp
+// totals, summary) incrementally, and never holds more than one chunk's
+// worth of instruction data in memory.
+//
+// Errors are sticky: after a write error every method is a no-op and
+// Close returns the first error.
+type ChunkWriter struct {
+	w      *bufio.Writer
+	cnt    countingWriter
+	opts   ChunkOptions
+	name   string
+	asid   memory.ASID
+	warps  []int // per-CU warp counts
+	wPerCU int
+
+	// Current-chunk accumulation, indexed by global warp (cu*wPerCU+warp).
+	segs     [][]Inst
+	arena    []memory.VAddr
+	curBytes int
+
+	// Footer accumulation.
+	totals    []uint64 // per global warp
+	premap    map[memory.VPN]pagePos
+	chunks    int
+	rollup    uint64 // crc64 state over per-chunk crcs
+	sum       Summary
+	pageTouch uint64 // distinct pages summed per memory instruction
+
+	scratchLines []memory.VAddr
+	scratchPages []memory.VPN
+	encBuf       []byte
+
+	started bool
+	closed  bool
+	err     error
+}
+
+// NewChunkWriter starts a v4 stream on w for the given shape. Every CU
+// gets warpsPerCU warp contexts, matching NewBuilder.
+func NewChunkWriter(w io.Writer, name string, asid memory.ASID, numCUs, warpsPerCU int, opts ChunkOptions) *ChunkWriter {
+	if numCUs <= 0 || warpsPerCU <= 0 {
+		panic("trace: chunk writer needs positive CU and warp counts")
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultChunkBudget
+	}
+	warps := make([]int, numCUs)
+	for i := range warps {
+		warps[i] = warpsPerCU
+	}
+	cw := &ChunkWriter{
+		opts:   opts,
+		name:   name,
+		asid:   asid,
+		warps:  warps,
+		wPerCU: warpsPerCU,
+		segs:   make([][]Inst, numCUs*warpsPerCU),
+		totals: make([]uint64, numCUs*warpsPerCU),
+		premap: make(map[memory.VPN]pagePos),
+	}
+	cw.cnt.w = w
+	cw.w = bufio.NewWriter(&cw.cnt)
+	cw.sum.Name = name
+	return cw
+}
+
+// countingWriter counts bytes so Close knows the footer's file offset
+// without requiring a seekable destination.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NumCUs returns the writer's CU count.
+func (cw *ChunkWriter) NumCUs() int { return len(cw.warps) }
+
+// WarpsPerCU returns the warp contexts per CU.
+func (cw *ChunkWriter) WarpsPerCU() int { return cw.wPerCU }
+
+func (cw *ChunkWriter) gw(cu, warp int) int { return cu*cw.wPerCU + warp }
+
+// writeHeader emits the file header on first append (or at Close for an
+// empty trace).
+func (cw *ChunkWriter) writeHeader() {
+	if cw.started || cw.err != nil {
+		return
+	}
+	cw.started = true
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(cw.w, crc)
+	if _, err := mw.Write(chunkFileMagic[:]); err != nil {
+		cw.fail(fmt.Errorf("trace: writing chunked header: %w", err))
+		return
+	}
+	var flags uint64
+	if cw.opts.Compress {
+		flags |= flagCompressed
+	}
+	writeUvarint(mw, flags)
+	writeUvarint(mw, uint64(len(cw.name)))
+	io.WriteString(mw, cw.name)
+	writeUvarint(mw, uint64(cw.asid))
+	writeUvarint(mw, uint64(len(cw.warps)))
+	for _, n := range cw.warps {
+		writeUvarint(mw, uint64(n))
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		cw.fail(fmt.Errorf("trace: writing chunked header: %w", err))
+	}
+}
+
+func (cw *ChunkWriter) fail(err error) {
+	if cw.err == nil {
+		cw.err = err
+	}
+}
+
+// Append adds one instruction to (cu, warp)'s stream. addrs are the
+// per-lane addresses of a Load/Store (nil otherwise); the writer interns
+// them in the current chunk's arena and rewrites in.Off/in.Lanes.
+func (cw *ChunkWriter) Append(cu, warp int, in Inst, addrs []memory.VAddr) {
+	if cw.err != nil || cw.closed {
+		return
+	}
+	if cu < 0 || cu >= len(cw.warps) || warp < 0 || warp >= cw.warps[cu] {
+		cw.fail(fmt.Errorf("trace: append to warp (%d,%d) outside shape (%d CUs x %d warps)",
+			cu, warp, len(cw.warps), cw.wPerCU))
+		return
+	}
+	g := cw.gw(cu, warp)
+	instIdx := cw.totals[g]
+	if in.Kind == Load || in.Kind == Store {
+		if len(addrs) == 0 {
+			return // mirror WarpEmitter: empty accesses are dropped
+		}
+		if len(addrs) > maxLanes {
+			cw.fail(fmt.Errorf("trace: %d lanes exceeds limit %d", len(addrs), maxLanes))
+			return
+		}
+		if len(cw.arena)+len(addrs) > maxArenaLen {
+			cw.fail(fmt.Errorf("trace: chunk arena exceeds %d lane addresses", maxArenaLen))
+			return
+		}
+		in.Off = uint32(len(cw.arena))
+		in.Lanes = uint16(len(addrs))
+		cw.arena = append(cw.arena, addrs...)
+		cw.curBytes += 8 * len(addrs)
+		cw.observeMem(g, instIdx, addrs)
+	} else {
+		cw.observeCtl(in)
+	}
+	cw.segs[g] = append(cw.segs[g], in)
+	cw.totals[g] = instIdx + 1
+	cw.curBytes += instBytes
+	if cw.curBytes >= cw.opts.Budget {
+		cw.flush()
+	}
+}
+
+// observeMem folds one memory instruction into the incremental summary
+// and the premap first-touch tracking.
+func (cw *ChunkWriter) observeMem(g int, instIdx uint64, addrs []memory.VAddr) {
+	cw.sum.MemInsts++
+	cw.sum.LaneAccesses += uint64(len(addrs))
+	cw.scratchLines = CoalesceLinesInto(cw.scratchLines[:0], addrs)
+	cw.sum.CoalescedLines += uint64(len(cw.scratchLines))
+	cw.scratchPages = cw.scratchPages[:0]
+	for lane, a := range addrs {
+		p := a.Page()
+		pos := pagePos{gw: uint32(g), pos: instIdx<<16 | uint64(lane)}
+		if prev, ok := cw.premap[p]; !ok || pos.less(prev) {
+			cw.premap[p] = pos
+		}
+		dup := false
+		for _, sp := range cw.scratchPages {
+			if sp == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cw.scratchPages = append(cw.scratchPages, p)
+		}
+	}
+	cw.pageTouch += uint64(len(cw.scratchPages))
+}
+
+func (cw *ChunkWriter) observeCtl(in Inst) {
+	switch in.Kind {
+	case ScratchLoad, ScratchStore:
+		cw.sum.ScratchOps++
+	case Compute:
+		cw.sum.ComputeInsts++
+	case Barrier:
+		cw.sum.Barriers++
+	}
+}
+
+// Barrier appends a device-wide barrier to every warp context and offers
+// the chunker a preferred cut point: every warp resynchronizes here, so a
+// chunk boundary at a barrier bounds the resident-chunk window during
+// replay. The cut threshold is a quarter of the budget so short phases
+// don't degenerate into tiny chunks.
+func (cw *ChunkWriter) Barrier() {
+	if cw.err != nil || cw.closed {
+		return
+	}
+	for cu := 0; cu < len(cw.warps); cu++ {
+		for w := 0; w < cw.warps[cu]; w++ {
+			cw.Append(cu, w, Inst{Kind: Barrier}, nil)
+		}
+	}
+	if cw.curBytes >= cw.opts.Budget/4 {
+		cw.flush()
+	}
+}
+
+// Flush force-cuts the current chunk (no-op when empty).
+func (cw *ChunkWriter) Flush() {
+	if cw.err != nil || cw.closed {
+		return
+	}
+	cw.flush()
+}
+
+// flush encodes and writes the accumulated chunk.
+func (cw *ChunkWriter) flush() {
+	if cw.curBytes == 0 {
+		return
+	}
+	cw.writeHeader()
+	if cw.err != nil {
+		return
+	}
+	// Encode the decoded payload: segments in cu-major warp order.
+	buf := cw.encBuf[:0]
+	nseg := 0
+	for _, s := range cw.segs {
+		if len(s) > 0 {
+			nseg++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(nseg))
+	for g, s := range cw.segs {
+		if len(s) == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(g/cw.wPerCU))
+		buf = binary.AppendUvarint(buf, uint64(g%cw.wPerCU))
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		for _, in := range s {
+			var rec [instBytes]byte
+			rec[0] = byte(in.Kind)
+			binary.LittleEndian.PutUint16(rec[1:], in.Lanes)
+			binary.LittleEndian.PutUint32(rec[3:], in.Off)
+			binary.LittleEndian.PutUint64(rec[7:], in.Cycles)
+			buf = append(buf, rec[:]...)
+		}
+		cw.segs[g] = s[:0]
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cw.arena)))
+	for _, a := range cw.arena {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	}
+	cw.encBuf = buf
+	rawLen := len(buf)
+
+	stored := buf
+	if cw.opts.Compress {
+		var cbuf bytes.Buffer
+		fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+		if err == nil {
+			_, err = fw.Write(buf)
+		}
+		if err == nil {
+			err = fw.Close()
+		}
+		if err != nil {
+			cw.fail(fmt.Errorf("trace: compressing chunk: %w", err))
+			return
+		}
+		stored = cbuf.Bytes()
+	}
+
+	if err := cw.writeChunkFrame(stored, rawLen); err != nil {
+		cw.fail(err)
+		return
+	}
+	cw.chunks++
+	if cw.opts.OnChunk != nil {
+		cw.opts.OnChunk(cw.chunks-1, len(stored))
+	}
+	cw.arena = cw.arena[:0]
+	cw.curBytes = 0
+}
+
+func (cw *ChunkWriter) writeChunkFrame(stored []byte, rawLen int) error {
+	if err := cw.w.WriteByte(chunkMarker); err != nil {
+		return fmt.Errorf("trace: writing chunk: %w", err)
+	}
+	writeUvarint(cw.w, uint64(len(stored)))
+	writeUvarint(cw.w, uint64(rawLen))
+	if _, err := cw.w.Write(stored); err != nil {
+		return fmt.Errorf("trace: writing chunk: %w", err)
+	}
+	var sum [8]byte
+	crc := crc64.Checksum(stored, crcTable)
+	binary.LittleEndian.PutUint64(sum[:], crc)
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		return fmt.Errorf("trace: writing chunk: %w", err)
+	}
+	cw.rollup = crc64.Update(cw.rollup, crcTable, sum[:])
+	return nil
+}
+
+// Summary returns the incrementally-computed trace summary; complete only
+// after Close.
+func (cw *ChunkWriter) Summary() Summary {
+	s := cw.sum
+	s.DistinctPages = len(cw.premap)
+	if s.MemInsts > 0 {
+		s.Divergence = float64(s.CoalescedLines) / float64(s.MemInsts)
+		s.PagesPerInst = float64(cw.pageTouch) / float64(s.MemInsts)
+	}
+	return s
+}
+
+// premapOrder returns the tracked pages in materialized first-touch
+// order.
+func (cw *ChunkWriter) premapOrder() []memory.VPN {
+	type pageAt struct {
+		vpn memory.VPN
+		at  pagePos
+	}
+	pages := make([]pageAt, 0, len(cw.premap))
+	for vpn, at := range cw.premap {
+		pages = append(pages, pageAt{vpn, at})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].at.less(pages[j].at) })
+	out := make([]memory.VPN, len(pages))
+	for i, p := range pages {
+		out[i] = p.vpn
+	}
+	return out
+}
+
+// Close flushes the final chunk, writes footer and trailer, and returns
+// the first error encountered anywhere in the stream. The underlying
+// writer is not closed.
+func (cw *ChunkWriter) Close() error {
+	if cw.closed {
+		return cw.err
+	}
+	cw.flush()
+	cw.writeHeader() // empty trace: header still required
+	cw.closed = true
+	if cw.err != nil {
+		return cw.err
+	}
+
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(cw.chunks))
+	body = binary.LittleEndian.AppendUint64(body, cw.rollup)
+	order := cw.premapOrder()
+	body = binary.AppendUvarint(body, uint64(len(order)))
+	for _, vpn := range order {
+		body = binary.AppendUvarint(body, uint64(vpn))
+	}
+	for cu := 0; cu < len(cw.warps); cu++ {
+		for w := 0; w < cw.warps[cu]; w++ {
+			body = binary.AppendUvarint(body, cw.totals[cw.gw(cu, w)])
+		}
+	}
+	s := cw.Summary()
+	body = binary.AppendUvarint(body, s.MemInsts)
+	body = binary.AppendUvarint(body, s.LaneAccesses)
+	body = binary.AppendUvarint(body, s.CoalescedLines)
+	body = binary.AppendUvarint(body, s.ScratchOps)
+	body = binary.AppendUvarint(body, s.ComputeInsts)
+	body = binary.AppendUvarint(body, s.Barriers)
+	body = binary.AppendUvarint(body, uint64(s.DistinctPages))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(s.Divergence))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(s.PagesPerInst))
+
+	// Flush buffered chunk bytes so the counter reflects the footer's
+	// exact file offset.
+	if err := cw.w.Flush(); err != nil {
+		return cw.sticky(err)
+	}
+	off := cw.cnt.n
+	if err := cw.w.WriteByte(footerMarker); err != nil {
+		return cw.sticky(err)
+	}
+	if _, err := cw.w.Write(body); err != nil {
+		return cw.sticky(err)
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc64.Checksum(body, crcTable))
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		return cw.sticky(err)
+	}
+	var trailer [trailerBytes]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(off))
+	copy(trailer[8:], chunkTrailerMagic[:])
+	if _, err := cw.w.Write(trailer[:]); err != nil {
+		return cw.sticky(err)
+	}
+	if err := cw.w.Flush(); err != nil {
+		return cw.sticky(err)
+	}
+	return nil
+}
+
+func (cw *ChunkWriter) sticky(err error) error {
+	cw.fail(fmt.Errorf("trace: writing chunked footer: %w", err))
+	return cw.err
+}
+
+// WriteChunked re-encodes a materialized trace as a v4 chunked stream.
+// Warp streams are interleaved round-robin so every chunk carries a
+// near-synchronous slice of all warps; replaying the result therefore
+// holds only O(budget) bytes resident, and produces byte-identical
+// simulation results (per-warp streams are preserved exactly, and the
+// footer premap reproduces the materialized frame-assignment order
+// regardless of interleaving).
+func (t *Trace) WriteChunked(w io.Writer, opts ChunkOptions) error {
+	if len(t.CUs) == 0 {
+		return fmt.Errorf("trace: cannot chunk a trace with no CUs")
+	}
+	wPerCU := len(t.CUs[0].Warps)
+	maxLen := 0
+	for c, cu := range t.CUs {
+		if len(cu.Warps) != wPerCU {
+			return fmt.Errorf("trace: cannot chunk ragged warp shape (cu 0 has %d warps, cu %d has %d)",
+				wPerCU, c, len(cu.Warps))
+		}
+		for _, warp := range cu.Warps {
+			if len(warp) > maxLen {
+				maxLen = len(warp)
+			}
+		}
+	}
+	if wPerCU == 0 {
+		return fmt.Errorf("trace: cannot chunk a trace with no warp contexts")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := NewChunkWriter(w, t.Name, t.ASID, len(t.CUs), wPerCU, opts)
+	for idx := 0; idx < maxLen; idx++ {
+		for c := range t.CUs {
+			for wi, warp := range t.CUs[c].Warps {
+				if idx >= len(warp) {
+					continue
+				}
+				in := warp[idx]
+				var addrs []memory.VAddr
+				if in.Kind == Load || in.Kind == Store {
+					addrs = t.Arena[in.Off : uint64(in.Off)+uint64(in.Lanes)]
+				}
+				cw.Append(c, wi, in, addrs)
+			}
+		}
+	}
+	return cw.Close()
+}
+
+// SaveChunked writes the trace to path in the v4 chunked format.
+func (t *Trace) SaveChunked(path string, opts ChunkOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChunked(f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

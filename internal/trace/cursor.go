@@ -1,0 +1,806 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"vcache/internal/memory"
+)
+
+// ErrCursorExhausted is wrapped by Cursor errors reported after the chunk
+// stream ended prematurely.
+var ErrCursorExhausted = errors.New("trace: chunk stream exhausted")
+
+// Cursor streams a v4 chunked trace for replay. It validates the header,
+// footer and trailer at open (plus a cheap structural scan over the chunk
+// frames), then decodes chunks on a background prefetch goroutine one
+// chunk ahead of consumption — the GPU front-end's event loop blocks on a
+// decoded chunk only when replay outruns the prefetcher.
+//
+// NextSegment implements the gpu.StreamSource contract: per-warp segment
+// delivery in stream order, with per-chunk crc validation at decode time.
+// A decode failure is sticky — every subsequent NextSegment reports
+// exhaustion and Err returns the failure — so a corrupt mid-file chunk
+// ends the run with an error instead of silently partial results.
+//
+// A Cursor is single-use: once the chunk stream is consumed it cannot be
+// rewound. Callers wanting several replays open several cursors.
+type Cursor struct {
+	r      io.ReadSeeker
+	closer io.Closer // non-nil when the cursor owns the underlying file
+
+	name   string
+	asid   memory.ASID
+	warps  []int // per-CU warp counts
+	flags  uint64
+	wPerCU int
+
+	chunkOffsets []int64 // frame start offsets, from the structural scan
+	numChunks    int
+	rollup       uint64
+	premap       []memory.VPN
+	totals       []uint64 // per global warp
+	summary      Summary
+
+	mu        sync.Mutex
+	queues    [][]Segment // per global warp FIFO of undelivered segments
+	started   bool
+	exhausted bool
+	err       error
+
+	prefetch chan prefetched
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// prefetched is one decoded chunk: segments grouped per warp, sharing the
+// chunk's arena.
+type prefetched struct {
+	segs []warpSegment
+	err  error
+}
+
+type warpSegment struct {
+	gw  int
+	seg Segment
+}
+
+// OpenCursorFile opens path as a v4 chunked trace; Close releases the
+// file.
+func OpenCursorFile(path string) (*Cursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCursor(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c.closer = f
+	return c, nil
+}
+
+// NewCursor validates the stream's framing (header, chunk-frame scan,
+// footer, trailer) and positions for streaming. r must cover exactly one
+// v4 trace; the caller keeps ownership of r unless the cursor came from
+// OpenCursorFile.
+func NewCursor(r io.ReadSeeker) (*Cursor, error) {
+	c := &Cursor{r: r}
+	if err := c.readHeader(); err != nil {
+		return nil, err
+	}
+	if err := c.readFooter(); err != nil {
+		return nil, err
+	}
+	if err := c.scanChunks(); err != nil {
+		return nil, err
+	}
+	c.queues = make([][]Segment, len(c.totals))
+	c.prefetch = make(chan prefetched, 1)
+	c.stop = make(chan struct{})
+	return c, nil
+}
+
+func (c *Cursor) readHeader() error {
+	var magic [8]byte
+	if _, err := io.ReadFull(c.r, magic[:]); err != nil {
+		return fmt.Errorf("trace: reading chunked magic: %w", err)
+	}
+	if magic != chunkFileMagic {
+		if string(magic[:7]) == "VCTRACE" {
+			return fmt.Errorf("trace: format version %d is not chunked (want %d); use trace.Read for v%d files",
+				magic[7], ChunkFormatVersion, FormatVersion)
+		}
+		return fmt.Errorf("trace: bad magic %q (not a v%d chunked trace)", magic[:], ChunkFormatVersion)
+	}
+	// The header is tiny; read it byte-exactly (no bufio readahead) so the
+	// consumed count doubles as the first chunk frame's file offset.
+	sr := newSmallReader(c.r)
+	crc := crc64.New(crcTable)
+	crc.Write(magic[:])
+	hr := headerReader{sr: sr, h: crc}
+	var err error
+	if c.flags, err = hr.uvarint("flags", 1<<8); err != nil {
+		return err
+	}
+	nameLen, err := hr.uvarint("name length", maxNameLen)
+	if err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if err := hr.full(name); err != nil {
+		return fmt.Errorf("trace: reading name: %w", err)
+	}
+	c.name = string(name)
+	asid, err := hr.uvarint("asid", uint64(^memory.ASID(0)))
+	if err != nil {
+		return err
+	}
+	c.asid = memory.ASID(asid)
+	numCUs, err := hr.uvarint("CU count", maxCUs)
+	if err != nil {
+		return err
+	}
+	totalWarps := uint64(0)
+	c.warps = make([]int, numCUs)
+	for i := range c.warps {
+		n, err := hr.uvarint("warp count", maxWarpsPerCU)
+		if err != nil {
+			return err
+		}
+		if totalWarps += n; totalWarps > maxTotalWarps {
+			return fmt.Errorf("trace: total warp contexts exceed limit %d", maxTotalWarps)
+		}
+		c.warps[i] = int(n)
+		if i == 0 {
+			c.wPerCU = int(n)
+		}
+	}
+	sum := crc.Sum64()
+	var stored [8]byte
+	if _, err := io.ReadFull(sr, stored[:]); err != nil {
+		return fmt.Errorf("trace: reading header checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(stored[:]); got != sum {
+		return fmt.Errorf("trace: header checksum mismatch (stored %#x, computed %#x)", got, sum)
+	}
+	c.chunkOffsets = append(c.chunkOffsets[:0], 8+sr.consumed)
+	return nil
+}
+
+// headerReader reads the small crc'd header: every byte consumed also
+// feeds the checksum.
+type headerReader struct {
+	sr *smallReader
+	h  interface{ Write(p []byte) (int, error) }
+}
+
+func (hr headerReader) ReadByte() (byte, error) {
+	b, err := hr.sr.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	hr.h.Write([]byte{b})
+	return b, nil
+}
+
+func (hr headerReader) full(p []byte) error {
+	if _, err := io.ReadFull(hr.sr, p); err != nil {
+		return err
+	}
+	hr.h.Write(p)
+	return nil
+}
+
+func (hr headerReader) uvarint(what string, max uint64) (uint64, error) {
+	x, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+	}
+	if x > max {
+		return 0, fmt.Errorf("trace: %s %d exceeds limit %d", what, x, max)
+	}
+	return x, nil
+}
+
+// smallReader is an unbuffered byte reader over the cursor's stream; the
+// header and footer are tiny, so per-byte reads are fine and keep the
+// underlying offset exact (no bufio readahead to undo).
+type smallReader struct {
+	r        io.Reader
+	consumed int64
+}
+
+func newSmallReader(r io.Reader) *smallReader { return &smallReader{r: r} }
+
+func (s *smallReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	s.consumed += int64(n)
+	return n, err
+}
+
+func (s *smallReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		return 0, err
+	}
+	s.consumed++
+	return b[0], nil
+}
+
+func (c *Cursor) readFooter() error {
+	end, err := c.r.Seek(-trailerBytes, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("trace: seeking trailer: %w", err)
+	}
+	var trailer [trailerBytes]byte
+	if _, err := io.ReadFull(c.r, trailer[:]); err != nil {
+		return fmt.Errorf("trace: reading trailer: %w", err)
+	}
+	if !bytes.Equal(trailer[8:], chunkTrailerMagic[:]) {
+		return fmt.Errorf("trace: bad trailer magic %q (truncated chunked trace?)", trailer[8:])
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if footerOff < 0 || footerOff >= end {
+		return fmt.Errorf("trace: footer offset %d outside file", footerOff)
+	}
+	if _, err := c.r.Seek(footerOff, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking footer: %w", err)
+	}
+	// The footer body spans [footerOff+1, end-8): marker byte, body, crc.
+	bodyLen := end - footerOff - 1 - 8
+	if bodyLen < 0 || bodyLen > maxChunkBytes {
+		return fmt.Errorf("trace: footer length %d out of range", bodyLen)
+	}
+	frame, err := readCapped(c.r, 1+bodyLen+8)
+	if err != nil {
+		return fmt.Errorf("trace: reading footer: %w", err)
+	}
+	if frame[0] != footerMarker {
+		return fmt.Errorf("trace: bad footer marker %#x", frame[0])
+	}
+	body := frame[1 : 1+bodyLen]
+	want := binary.LittleEndian.Uint64(frame[1+bodyLen:])
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return fmt.Errorf("trace: footer checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+
+	d := &byteDecoder{buf: body}
+	numChunks := d.uvarint("chunk count", maxChunks)
+	c.numChunks = int(numChunks)
+	c.rollup = d.u64()
+	npremap := d.uvarint("premap length", maxPremap)
+	if d.err == nil && npremap > 0 {
+		c.premap = make([]memory.VPN, 0, min64(npremap, 1<<16))
+		for i := uint64(0); i < npremap && d.err == nil; i++ {
+			c.premap = append(c.premap, memory.VPN(d.uvarint("premap entry", math.MaxUint64)))
+		}
+	}
+	total := 0
+	for _, n := range c.warps {
+		total += n
+	}
+	c.totals = make([]uint64, total)
+	for i := range c.totals {
+		c.totals[i] = d.uvarint("warp total", maxInstsPerWarp)
+	}
+	c.summary = Summary{Name: c.name}
+	c.summary.MemInsts = d.uvarint("summary", math.MaxUint64)
+	c.summary.LaneAccesses = d.uvarint("summary", math.MaxUint64)
+	c.summary.CoalescedLines = d.uvarint("summary", math.MaxUint64)
+	c.summary.ScratchOps = d.uvarint("summary", math.MaxUint64)
+	c.summary.ComputeInsts = d.uvarint("summary", math.MaxUint64)
+	c.summary.Barriers = d.uvarint("summary", math.MaxUint64)
+	c.summary.DistinctPages = int(d.uvarint("summary", maxPremap))
+	c.summary.Divergence = math.Float64frombits(d.u64())
+	c.summary.PagesPerInst = math.Float64frombits(d.u64())
+	if d.err != nil {
+		return d.err
+	}
+	if d.rem() != 0 {
+		return fmt.Errorf("trace: %d trailing footer bytes", d.rem())
+	}
+	if uint64(len(c.premap)) != npremap {
+		return fmt.Errorf("trace: truncated premap list")
+	}
+	return nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scanChunks walks the chunk frames without reading payloads: each frame's
+// declared length must chain exactly from the header to the footer, and
+// the frame count must match the footer's declaration. Payload contents
+// (and their crcs) are validated later, at decode time, so opening a
+// cached multi-GB trace costs O(chunks) tiny reads, not a full pass.
+func (c *Cursor) scanChunks() error {
+	off := c.chunkOffsets[0]
+	// Recompute the footer offset from the trailer (readFooter validated
+	// it); the scan must land exactly there.
+	if _, err := c.r.Seek(-trailerBytes, io.SeekEnd); err != nil {
+		return err
+	}
+	var trailer [trailerBytes]byte
+	if _, err := io.ReadFull(c.r, trailer[:]); err != nil {
+		return err
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+
+	c.chunkOffsets = c.chunkOffsets[:1]
+	for i := 0; i < c.numChunks; i++ {
+		if off >= footerOff {
+			return fmt.Errorf("trace: chunk %d starts past footer (footer declares %d chunks)", i, c.numChunks)
+		}
+		if _, err := c.r.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+		sr := newSmallReader(c.r)
+		marker, err := sr.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: scanning chunk %d: %w", i, err)
+		}
+		if marker != chunkMarker {
+			return fmt.Errorf("trace: chunk %d: bad marker %#x", i, marker)
+		}
+		stored, err := binary.ReadUvarint(sr)
+		if err != nil {
+			return fmt.Errorf("trace: scanning chunk %d: %w", i, err)
+		}
+		raw, err := binary.ReadUvarint(sr)
+		if err != nil {
+			return fmt.Errorf("trace: scanning chunk %d: %w", i, err)
+		}
+		if stored > maxChunkBytes || raw > maxChunkBytes {
+			return fmt.Errorf("trace: chunk %d: size %d/%d exceeds limit %d", i, stored, raw, maxChunkBytes)
+		}
+		next := off + sr.consumed + int64(stored) + 8
+		if next > footerOff {
+			return fmt.Errorf("trace: chunk %d overruns footer", i)
+		}
+		off = next
+		c.chunkOffsets = append(c.chunkOffsets, off)
+	}
+	if off != footerOff {
+		return fmt.Errorf("trace: %d unframed bytes between chunks and footer", footerOff-off)
+	}
+	// Leave the stream positioned at the first chunk for the prefetcher.
+	_, err := c.r.Seek(c.chunkOffsets[0], io.SeekStart)
+	return err
+}
+
+// byteDecoder is a bounds-checked decoder over an in-memory buffer.
+type byteDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *byteDecoder) rem() int { return len(d.buf) - d.off }
+
+func (d *byteDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("trace: "+format, args...)
+	}
+}
+
+func (d *byteDecoder) uvarint(what string, max uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("reading %s: truncated", what)
+		return 0
+	}
+	d.off += n
+	if x > max {
+		d.fail("%s %d exceeds limit %d", what, x, max)
+		return 0
+	}
+	return x
+}
+
+func (d *byteDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.rem() < 8 {
+		d.fail("reading u64: truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// readCapped reads exactly n bytes in bounded pieces, so a hostile length
+// declaration on a truncated stream fails fast instead of provoking one
+// huge allocation.
+func readCapped(r io.Reader, n int64) ([]byte, error) {
+	const piece = 1 << 20
+	capHint := n
+	if capHint > piece {
+		capHint = piece
+	}
+	buf := make([]byte, 0, capHint)
+	for int64(len(buf)) < n {
+		take := n - int64(len(buf))
+		if take > piece {
+			take = piece
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Name returns the trace name.
+func (c *Cursor) Name() string { return c.name }
+
+// ASID returns the trace's address-space id.
+func (c *Cursor) ASID() memory.ASID { return c.asid }
+
+// NumCUs returns the CU count (gpu.StreamSource).
+func (c *Cursor) NumCUs() int { return len(c.warps) }
+
+// NumWarps returns cu's warp-context count (gpu.StreamSource).
+func (c *Cursor) NumWarps(cu int) int { return c.warps[cu] }
+
+// WarpLen returns the warp's total instruction count (gpu.StreamSource).
+func (c *Cursor) WarpLen(cu, warp int) uint64 { return c.totals[c.gw(cu, warp)] }
+
+// NumChunks returns the stream's chunk count.
+func (c *Cursor) NumChunks() int { return c.numChunks }
+
+// Summary returns the footer's trace summary (identical to Summarize on
+// the materialized equivalent).
+func (c *Cursor) Summary() Summary { return c.summary }
+
+// Premap returns the pages the trace touches, in the exact first-touch
+// order of the materialized trace — replaying it through
+// AddressSpace.EnsureMapped reproduces frame assignment byte for byte.
+func (c *Cursor) Premap() []memory.VPN { return c.premap }
+
+func (c *Cursor) gw(cu, warp int) int {
+	g := 0
+	for i := 0; i < cu; i++ {
+		g += c.warps[i]
+	}
+	return g + warp
+}
+
+// start launches the prefetch goroutine (once, lazily).
+func (c *Cursor) start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(c.prefetch)
+		rollup := uint64(0)
+		for i := 0; i < c.numChunks; i++ {
+			segs, crc, err := c.decodeChunk(i)
+			if err != nil {
+				select {
+				case c.prefetch <- prefetched{err: err}:
+				case <-c.stop:
+				}
+				return
+			}
+			var sum [8]byte
+			binary.LittleEndian.PutUint64(sum[:], crc)
+			rollup = crc64.Update(rollup, crcTable, sum[:])
+			select {
+			case c.prefetch <- prefetched{segs: segs}:
+			case <-c.stop:
+				return
+			}
+		}
+		if rollup != c.rollup {
+			select {
+			case c.prefetch <- prefetched{err: fmt.Errorf("trace: chunk-crc rollup mismatch (stored %#x, computed %#x)", c.rollup, rollup)}:
+			case <-c.stop:
+			}
+		}
+	}()
+}
+
+// decodeChunk reads and decodes chunk i, returning its segments and the
+// stored payload's crc. Runs on the prefetch goroutine only, which owns
+// the stream position after open.
+func (c *Cursor) decodeChunk(i int) ([]warpSegment, uint64, error) {
+	sr := newSmallReader(c.r)
+	marker, err := sr.ReadByte()
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d: %w", i, err)
+	}
+	if marker != chunkMarker {
+		return nil, 0, fmt.Errorf("trace: chunk %d: bad marker %#x", i, marker)
+	}
+	storedLen, err := binary.ReadUvarint(sr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d: %w", i, err)
+	}
+	rawLen, err := binary.ReadUvarint(sr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d: %w", i, err)
+	}
+	if storedLen > maxChunkBytes || rawLen > maxChunkBytes {
+		return nil, 0, fmt.Errorf("trace: chunk %d: size exceeds limit", i)
+	}
+	stored, err := readCapped(c.r, int64(storedLen))
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d payload: %w", i, err)
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(c.r, sum[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d checksum: %w", i, err)
+	}
+	want := binary.LittleEndian.Uint64(sum[:])
+	crc := crc64.Checksum(stored, crcTable)
+	if crc != want {
+		return nil, 0, fmt.Errorf("trace: chunk %d checksum mismatch (stored %#x, computed %#x)", i, want, crc)
+	}
+
+	payload := stored
+	if c.flags&flagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(stored))
+		payload, err = readCapped(fr, int64(rawLen))
+		if err == nil {
+			// The decoded size must match exactly: no trailing data.
+			var one [1]byte
+			if n, _ := fr.Read(one[:]); n != 0 {
+				err = errors.New("decoded size exceeds declaration")
+			}
+		}
+		fr.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: chunk %d decompress: %w", i, err)
+		}
+	} else if uint64(len(payload)) != rawLen {
+		return nil, 0, fmt.Errorf("trace: chunk %d: stored %d bytes but declares %d raw", i, len(payload), rawLen)
+	}
+	segs, err := c.parseChunk(payload)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: chunk %d: %w", i, err)
+	}
+	return segs, crc, nil
+}
+
+// parseChunk decodes a chunk's decoded payload into per-warp segments
+// sharing one arena, validating every count and lane-arena reference.
+func (c *Cursor) parseChunk(payload []byte) ([]warpSegment, error) {
+	d := &byteDecoder{buf: payload}
+	totalWarps := len(c.totals)
+	nseg := d.uvarint("segment count", uint64(totalWarps))
+	segs := make([]warpSegment, 0, nseg)
+	for i := uint64(0); i < nseg && d.err == nil; i++ {
+		cu := d.uvarint("segment cu", uint64(len(c.warps))-1)
+		var warp uint64
+		if d.err == nil {
+			if c.warps[cu] == 0 {
+				d.fail("segment on CU %d with zero warp contexts", cu)
+				break
+			}
+			warp = d.uvarint("segment warp", uint64(c.warps[cu])-1)
+		}
+		n := d.uvarint("segment length", maxInstsPerWarp)
+		if d.err != nil {
+			break
+		}
+		if int64(d.rem()) < int64(n)*instBytes {
+			d.fail("segment declares %d instructions, %d bytes remain", n, d.rem())
+			break
+		}
+		insts := make([]Inst, 0, n)
+		for j := uint64(0); j < n; j++ {
+			rec := d.buf[d.off : d.off+instBytes]
+			d.off += instBytes
+			in := Inst{
+				Kind:   Kind(rec[0]),
+				Lanes:  binary.LittleEndian.Uint16(rec[1:]),
+				Off:    binary.LittleEndian.Uint32(rec[3:]),
+				Cycles: binary.LittleEndian.Uint64(rec[7:]),
+			}
+			if in.Kind > Barrier {
+				d.fail("invalid instruction kind %d", rec[0])
+				break
+			}
+			if in.Lanes > maxLanes {
+				d.fail("lane count %d exceeds limit %d", in.Lanes, maxLanes)
+				break
+			}
+			insts = append(insts, in)
+		}
+		segs = append(segs, warpSegment{gw: c.gw(int(cu), int(warp)), seg: Segment{Insts: insts}})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	arenaLen := d.uvarint("arena length", maxArenaLen)
+	if d.err == nil && int64(d.rem()) != int64(arenaLen)*8 {
+		d.fail("arena declares %d addresses, %d bytes remain", arenaLen, d.rem())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	arena := make([]memory.VAddr, arenaLen)
+	for i := range arena {
+		arena[i] = memory.VAddr(binary.LittleEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+	}
+	for i := range segs {
+		segs[i].seg.Arena = arena
+		for _, in := range segs[i].seg.Insts {
+			if in.Kind != Load && in.Kind != Store {
+				continue
+			}
+			if in.Lanes == 0 {
+				return nil, errors.New("load/store with zero lanes")
+			}
+			if uint64(in.Off)+uint64(in.Lanes) > arenaLen {
+				return nil, fmt.Errorf("lane reference [%d, %d) outside chunk arena of %d",
+					in.Off, uint64(in.Off)+uint64(in.Lanes), arenaLen)
+			}
+		}
+	}
+	return segs, nil
+}
+
+// NextSegment returns the next stream segment for (cu, warp), pulling and
+// distributing decoded chunks as needed. ok is false once the warp's
+// stream is exhausted — or the stream failed; Err distinguishes. Safe for
+// concurrent use by partitioned-engine workers.
+func (c *Cursor) NextSegment(cu, warp int) (Segment, bool) {
+	g := c.gw(cu, warp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queues[g]) == 0 {
+		if !c.pullChunkLocked() {
+			return Segment{}, false
+		}
+	}
+	seg := c.queues[g][0]
+	c.queues[g][0] = Segment{} // release the chunk reference promptly
+	c.queues[g] = c.queues[g][1:]
+	return seg, true
+}
+
+// pullChunkLocked moves one decoded chunk from the prefetcher into the
+// per-warp queues. Returns false when the stream is exhausted or failed.
+func (c *Cursor) pullChunkLocked() bool {
+	if c.exhausted {
+		return false
+	}
+	c.start()
+	p, ok := <-c.prefetch
+	if !ok {
+		c.exhausted = true
+		return false
+	}
+	if p.err != nil {
+		c.exhausted = true
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: %w", ErrCursorExhausted, p.err)
+		}
+		return false
+	}
+	for _, ws := range p.segs {
+		c.queues[ws.gw] = append(c.queues[ws.gw], ws.seg)
+	}
+	return true
+}
+
+// Err reports the sticky stream error, if any. A run that completed while
+// Err is non-nil replayed a truncated stream and must be discarded.
+func (c *Cursor) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close stops the prefetcher and releases the underlying file (when the
+// cursor owns it).
+func (c *Cursor) Close() error {
+	close(c.stop)
+	c.wg.Wait()
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// Materialize reads the remaining stream into a whole-trace structure:
+// the degenerate non-streaming path, used by tools and equivalence tests.
+// For a trace written by a streaming Builder the result is byte-identical
+// (under Write) to the materialized Builder's trace.
+func (c *Cursor) Materialize() (*Trace, error) {
+	t := &Trace{Name: c.name, ASID: c.asid, CUs: make([]CUTrace, len(c.warps))}
+	for i := range t.CUs {
+		t.CUs[i].Warps = make([]WarpTrace, c.warps[i])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		c.start()
+		p, ok := <-c.prefetch
+		if !ok {
+			break
+		}
+		if p.err != nil {
+			c.exhausted = true
+			if c.err == nil {
+				c.err = p.err
+			}
+			return nil, p.err
+		}
+		base := uint64(len(t.Arena))
+		if len(p.segs) > 0 {
+			t.Arena = append(t.Arena, p.segs[0].seg.Arena...)
+		}
+		for _, ws := range p.segs {
+			cu, warp := c.cuWarp(ws.gw)
+			for _, in := range ws.seg.Insts {
+				if in.Kind == Load || in.Kind == Store {
+					if base+uint64(in.Off)+uint64(in.Lanes) > uint64(1)<<32 {
+						return nil, errors.New("trace: materialized arena exceeds 4G lane addresses")
+					}
+					in.Off += uint32(base)
+				}
+				t.CUs[cu].Warps[warp] = append(t.CUs[cu].Warps[warp], in)
+			}
+		}
+	}
+	c.exhausted = true
+	if c.err != nil {
+		return nil, c.err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (c *Cursor) cuWarp(gw int) (int, int) {
+	for cu, n := range c.warps {
+		if gw < n {
+			return cu, gw
+		}
+		gw -= n
+	}
+	panic("trace: global warp index out of range")
+}
+
+// IsChunkedFile sniffs path's magic: true for v4 chunked traces, false
+// for anything else (including v3 whole-file traces).
+func IsChunkedFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	return magic == chunkFileMagic, nil
+}

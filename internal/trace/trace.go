@@ -139,6 +139,31 @@ func (t *Trace) Summarize() Summary {
 	return s
 }
 
+// FirstTouchVPNs returns the trace's distinct 4KB pages in the order
+// System.Prepare first touches them (cu-major, warp-major, instruction
+// order, lane order) — the order that pins physical frame assignment.
+// A chunked stream's footer premap list reproduces exactly this.
+func (t *Trace) FirstTouchVPNs() []memory.VPN {
+	seen := make(map[memory.VPN]bool)
+	var order []memory.VPN
+	for _, cu := range t.CUs {
+		for _, w := range cu.Warps {
+			for _, in := range w {
+				if in.Kind != Load && in.Kind != Store {
+					continue
+				}
+				for _, a := range t.Addrs(in) {
+					if p := a.Page(); !seen[p] {
+						seen[p] = true
+						order = append(order, p)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
 // CoalesceLines returns the unique 128B line addresses touched by the
 // per-lane addresses, in first-touch order — the work of the paper's
 // per-CU coalescer, which merges lane accesses into the minimum number of
@@ -169,8 +194,16 @@ func CoalesceLinesInto(dst, addrs []memory.VAddr) []memory.VAddr {
 // Builder assembles a Trace by distributing warp-sized work chunks across
 // a fixed pool of warp contexts (NumCUs x WarpsPerCU), round-robin, the
 // way a persistent-threads GPU kernel spreads blocks over compute units.
+//
+// A Builder has two backends: the default materializing one (instructions
+// accumulate in an in-memory Trace, returned by Build) and a streaming one
+// (NewStreamingBuilder: instructions flow straight into a ChunkWriter, so
+// generator memory stays bounded by the chunk budget). Generators are
+// written against the Builder API once and work identically against both.
 type Builder struct {
 	tr       *Trace
+	cw       *ChunkWriter // non-nil: streaming backend
+	numCUs   int
 	warpsPer int
 	next     int // round-robin cursor over all warp contexts
 }
@@ -185,17 +218,24 @@ func NewBuilder(name string, asid memory.ASID, numCUs, warpsPerCU int) *Builder 
 	for i := range t.CUs {
 		t.CUs[i].Warps = make([]WarpTrace, warpsPerCU)
 	}
-	return &Builder{tr: t, warpsPer: warpsPerCU}
+	return &Builder{tr: t, numCUs: numCUs, warpsPer: warpsPerCU}
+}
+
+// NewStreamingBuilder creates a builder that emits directly into cw
+// instead of materializing a Trace. Build returns nil; the caller owns
+// closing cw after generation finishes.
+func NewStreamingBuilder(cw *ChunkWriter) *Builder {
+	return &Builder{cw: cw, numCUs: cw.NumCUs(), warpsPer: cw.WarpsPerCU()}
 }
 
 // NumWarps returns the total warp-context count.
-func (b *Builder) NumWarps() int { return len(b.tr.CUs) * b.warpsPer }
+func (b *Builder) NumWarps() int { return b.numCUs * b.warpsPer }
 
 // Warp returns an emitter for the next warp context in round-robin order.
 // Consecutive calls spread work evenly over CUs.
 func (b *Builder) Warp() *WarpEmitter {
-	cu := b.next % len(b.tr.CUs)
-	warp := (b.next / len(b.tr.CUs)) % b.warpsPer
+	cu := b.next % b.numCUs
+	warp := (b.next / b.numCUs) % b.warpsPer
 	b.next++
 	return &WarpEmitter{b: b, cu: cu, warp: warp}
 }
@@ -203,16 +243,20 @@ func (b *Builder) Warp() *WarpEmitter {
 // Barrier appends a device-wide barrier to every warp context (a kernel
 // boundary): no warp proceeds past it until all have reached it.
 func (b *Builder) Barrier() {
-	for c := range b.tr.CUs {
-		for w := range b.tr.CUs[c].Warps {
-			b.tr.CUs[c].Warps[w] = append(b.tr.CUs[c].Warps[w], Inst{Kind: Barrier})
+	if b.cw != nil {
+		b.cw.Barrier()
+	} else {
+		for c := range b.tr.CUs {
+			for w := range b.tr.CUs[c].Warps {
+				b.tr.CUs[c].Warps[w] = append(b.tr.CUs[c].Warps[w], Inst{Kind: Barrier})
+			}
 		}
 	}
 	// Restart distribution from warp 0 so the next kernel spreads evenly.
 	b.next = 0
 }
 
-// Build returns the assembled trace.
+// Build returns the assembled trace (nil for a streaming builder).
 func (b *Builder) Build() *Trace { return b.tr }
 
 // intern appends addrs to the arena and returns their (offset, count)
@@ -234,6 +278,10 @@ type WarpEmitter struct {
 }
 
 func (w *WarpEmitter) emit(in Inst) *WarpEmitter {
+	if w.b.cw != nil {
+		w.b.cw.Append(w.cu, w.warp, in, nil)
+		return w
+	}
 	cu := &w.b.tr.CUs[w.cu]
 	cu.Warps[w.warp] = append(cu.Warps[w.warp], in)
 	return w
@@ -244,6 +292,10 @@ func (w *WarpEmitter) Load(addrs ...memory.VAddr) *WarpEmitter {
 	if len(addrs) == 0 {
 		return w
 	}
+	if w.b.cw != nil {
+		w.b.cw.Append(w.cu, w.warp, Inst{Kind: Load}, addrs)
+		return w
+	}
 	off, lanes := w.b.intern(addrs)
 	return w.emit(Inst{Kind: Load, Off: off, Lanes: lanes})
 }
@@ -251,6 +303,10 @@ func (w *WarpEmitter) Load(addrs ...memory.VAddr) *WarpEmitter {
 // Store appends a global store touching the given lane addresses.
 func (w *WarpEmitter) Store(addrs ...memory.VAddr) *WarpEmitter {
 	if len(addrs) == 0 {
+		return w
+	}
+	if w.b.cw != nil {
+		w.b.cw.Append(w.cu, w.warp, Inst{Kind: Store}, addrs)
 		return w
 	}
 	off, lanes := w.b.intern(addrs)

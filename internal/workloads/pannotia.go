@@ -9,11 +9,10 @@ import (
 // given scale.
 func graphSize(p Params) int { return 24576 * p.Scale }
 
-// buildPageRank emits a CSR pull-style PageRank: each node streams its row
+// emitPageRank emits a CSR pull-style PageRank: each node streams its row
 // pointers and column indices, gathers the neighbours' ranks (divergent),
 // and stores its new rank. Two iterations separated by a device barrier.
-func buildPageRank(p Params) *trace.Trace {
-	p = p.normalized()
+func emitPageRank(p Params, b *trace.Builder) {
 	r := newRNG(p.Seed)
 	g := genGraph(r, graphSize(p), 6, 32)
 	l := newLayout()
@@ -22,7 +21,6 @@ func buildPageRank(p Params) *trace.Trace {
 	rankB := l.nodeArray(int(g.n))  // gathered: previous iteration's ranks
 	rankOut := l.array(int(g.n), 4) // packed per-iteration output
 
-	b := trace.NewBuilder("pagerank", 1, p.NumCUs, p.WarpsPerCU)
 	src, dst := rankB, rankOut
 	for iter := 0; iter < 3; iter++ {
 		for _, chunk := range g.warpChunks() {
@@ -33,13 +31,11 @@ func buildPageRank(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildPageRankSpmv is the SpMV formulation: the per-edge value array is
+// emitPageRankSpmv is the SpMV formulation: the per-edge value array is
 // streamed alongside the column indices, and x is gathered.
-func buildPageRankSpmv(p Params) *trace.Trace {
-	p = p.normalized()
+func emitPageRankSpmv(p Params, b *trace.Builder) {
 	r := newRNG(p.Seed + 1)
 	g := genGraph(r, graphSize(p), 6, 32)
 	l := newLayout()
@@ -49,7 +45,6 @@ func buildPageRankSpmv(p Params) *trace.Trace {
 	xB := l.nodeArray(int(g.n))
 	yB := l.array(int(g.n), 4) // packed output vector
 
-	b := trace.NewBuilder("pagerank_spmv", 1, p.NumCUs, p.WarpsPerCU)
 	for iter := 0; iter < 3; iter++ {
 		for _, chunk := range g.warpChunks() {
 			w := b.Warp()
@@ -59,25 +54,23 @@ func buildPageRankSpmv(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildColorMax emits Pannotia's graph colouring: every uncoloured node
+// emitColorMax emits Pannotia's graph colouring: every uncoloured node
 // gathers its neighbours' random priorities and colour states each
 // iteration, colouring itself when it holds the local maximum.
-func buildColorMax(p Params) *trace.Trace {
-	return buildColor(p, "color_max", false)
+func emitColorMax(p Params, b *trace.Builder) {
+	emitColor(p, b, false)
 }
 
-// buildColorMaxMin is the max-min variant, colouring two independent sets
+// emitColorMaxMin is the max-min variant, colouring two independent sets
 // per iteration (local maxima and local minima), with a second result
 // store per round.
-func buildColorMaxMin(p Params) *trace.Trace {
-	return buildColor(p, "color_maxmin", true)
+func emitColorMaxMin(p Params, b *trace.Builder) {
+	emitColor(p, b, true)
 }
 
-func buildColor(p Params, name string, maxmin bool) *trace.Trace {
-	p = p.normalized()
+func emitColor(p Params, b *trace.Builder, maxmin bool) {
 	r := newRNG(p.Seed + 2)
 	g := genGraph(r, graphSize(p), 6, 32)
 	l := newLayout()
@@ -107,7 +100,6 @@ func buildColor(p Params, name string, maxmin bool) *trace.Trace {
 		active = append(active, v)
 	}
 
-	b := trace.NewBuilder(name, 1, p.NumCUs, p.WarpsPerCU)
 	const maxRounds = 4
 	for round := 0; round < maxRounds && len(active) > 0; round++ {
 		for start := 0; start < len(active); start += 32 {
@@ -150,13 +142,11 @@ func buildColor(p Params, name string, maxmin bool) *trace.Trace {
 		}
 		active = next
 	}
-	return b.Build()
 }
 
-// buildMIS emits Pannotia's maximal independent set: nodes gather
+// emitMIS emits Pannotia's maximal independent set: nodes gather
 // neighbour status and priority each round and update their own status.
-func buildMIS(p Params) *trace.Trace {
-	p = p.normalized()
+func emitMIS(p Params, b *trace.Builder) {
 	r := newRNG(p.Seed + 3)
 	g := genGraph(r, graphSize(p), 6, 32)
 	l := newLayout()
@@ -184,7 +174,6 @@ func buildMIS(p Params) *trace.Trace {
 		active = append(active, v)
 	}
 
-	b := trace.NewBuilder("mis", 1, p.NumCUs, p.WarpsPerCU)
 	const maxRounds = 4
 	for round := 0; round < maxRounds && len(active) > 0; round++ {
 		for start := 0; start < len(active); start += 32 {
@@ -234,7 +223,6 @@ func buildMIS(p Params) *trace.Trace {
 		}
 		active = next
 	}
-	return b.Build()
 }
 
 // bfsLevels computes BFS levels from src (host-side), returning level lists.
@@ -292,12 +280,11 @@ func emitBFSLevel(b *trace.Builder, g *graph, frontier []int32, rowB, colB memor
 	}
 }
 
-// buildBC emits a betweenness-centrality skeleton: forward BFS passes from
+// emitBC emits a betweenness-centrality skeleton: forward BFS passes from
 // a few sources accumulating path counts, then backward dependency
 // accumulation over the levels in reverse — both dominated by neighbour
 // gathers, with device barriers between levels.
-func buildBC(p Params) *trace.Trace {
-	p = p.normalized()
+func emitBC(p Params, b *trace.Builder) {
 	r := newRNG(p.Seed + 4)
 	g := genGraph(r, graphSize(p), 6, 32)
 	l := newLayout()
@@ -308,7 +295,6 @@ func buildBC(p Params) *trace.Trace {
 	deltaB := l.nodeArray(int(g.n))
 	deltaOut := l.array(int(g.n), 4) // packed dependency output
 
-	b := trace.NewBuilder("bc", 1, p.NumCUs, p.WarpsPerCU)
 	for s := 0; s < 2; s++ {
 		levels := bfsLevels(g, int32(r.n(int(g.n))))
 		// Forward: discover levels, accumulating sigma.
@@ -330,7 +316,6 @@ func buildBC(p Params) *trace.Trace {
 			b.Barrier()
 		}
 	}
-	return b.Build()
 }
 
 // fwSize returns the Floyd-Warshall matrix dimension (rows are padded to a
@@ -342,17 +327,15 @@ func fwAddr(base memory.VAddr, i, j int) memory.VAddr {
 	return base + memory.VAddr(i)*memory.PageSize + memory.VAddr(j)*4
 }
 
-// buildFW emits Floyd-Warshall relaxation rounds with lanes spread across
+// emitFW emits Floyd-Warshall relaxation rounds with lanes spread across
 // rows: d[i][k] and d[i][j] loads touch a different page per lane, the
 // heavily divergent pattern behind fw's very high translation demand
 // (the paper measures 9.3 memory accesses per dynamic instruction).
-func buildFW(p Params) *trace.Trace {
-	p = p.normalized()
+func emitFW(p Params, b *trace.Builder) {
 	n := fwSize(p)
 	l := newLayout()
 	dB := l.array(n*memory.PageSize/4, 4)
 
-	b := trace.NewBuilder("fw", 1, p.NumCUs, p.WarpsPerCU)
 	const rounds = 6
 	const jBlock = 8
 	for kr := 0; kr < rounds; kr++ {
@@ -384,19 +367,16 @@ func buildFW(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildFWBlock is the tiled variant: 32x32 tiles stream through the
+// emitFWBlock is the tiled variant: 32x32 tiles stream through the
 // scratchpad row-by-row (coalesced), dramatically improving locality —
 // the paper shows fw_block with far lower per-CU TLB miss ratios than fw.
-func buildFWBlock(p Params) *trace.Trace {
-	p = p.normalized()
+func emitFWBlock(p Params, b *trace.Builder) {
 	n := fwSize(p)
 	l := newLayout()
 	dB := l.array(n*memory.PageSize/4, 4)
 
-	b := trace.NewBuilder("fw_block", 1, p.NumCUs, p.WarpsPerCU)
 	const tile = 32
 	rounds := n / tile
 	for kb := 0; kb < rounds; kb++ {
@@ -425,7 +405,6 @@ func buildFWBlock(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
 // coalescedRow returns lane addresses for cols j0..j0+lanes-1 of row i of a

@@ -5,12 +5,11 @@ import (
 	"vcache/internal/trace"
 )
 
-// buildKMeans emits k-means clustering: lanes map to points; each
+// emitKMeans emits k-means clustering: lanes map to points; each
 // iteration streams every point's features (short-stride, page-local),
 // reads the centroids (tiny, cache-resident), and stores the assignment.
 // Regular access with low translation demand, as the paper observes.
-func buildKMeans(p Params) *trace.Trace {
-	p = p.normalized()
+func emitKMeans(p Params, b *trace.Builder) {
 	const dims = 8
 	n := 8192 * p.Scale
 	l := newLayout()
@@ -18,7 +17,6 @@ func buildKMeans(p Params) *trace.Trace {
 	centB := l.array(8*dims, 4)
 	asgB := l.array(n, 4)
 
-	b := trace.NewBuilder("kmeans", 1, p.NumCUs, p.WarpsPerCU)
 	for iter := 0; iter < 3; iter++ {
 		for p0 := 0; p0 < n; p0 += 32 {
 			w := b.Warp()
@@ -35,14 +33,12 @@ func buildKMeans(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildBackprop emits a two-layer neural network pass: the weight matrix
+// emitBackprop emits a two-layer neural network pass: the weight matrix
 // streams row-by-row in both the forward and the weight-update phases.
 // Long sequential sweeps: big footprint, regular translations.
-func buildBackprop(p Params) *trace.Trace {
-	p = p.normalized()
+func emitBackprop(p Params, b *trace.Builder) {
 	in := 512 * p.Scale
 	const hidden = 256
 	l := newLayout()
@@ -51,7 +47,6 @@ func buildBackprop(p Params) *trace.Trace {
 	hidB := l.array(hidden, 4)
 	gradB := l.array(in*hidden, 4)
 
-	b := trace.NewBuilder("backprop", 1, p.NumCUs, p.WarpsPerCU)
 	// Forward: hidden units in warps of 32; stream all inputs' weights.
 	for h0 := 0; h0 < hidden; h0 += 32 {
 		w := b.Warp()
@@ -83,14 +78,12 @@ func buildBackprop(p Params) *trace.Trace {
 		}
 	}
 	b.Barrier()
-	return b.Build()
 }
 
-// buildBFS emits Rodinia's level-synchronous breadth-first search over the
+// emitBFS emits Rodinia's level-synchronous breadth-first search over the
 // synthetic power-law graph: frontier nodes stream adjacency and gather
 // neighbour distances (divergent), with a device barrier per level.
-func buildBFS(p Params) *trace.Trace {
-	p = p.normalized()
+func emitBFS(p Params, b *trace.Builder) {
 	r := newRNG(p.Seed + 5)
 	g := genGraph(r, graphSize(p), 5, 32)
 	l := newLayout()
@@ -98,19 +91,16 @@ func buildBFS(p Params) *trace.Trace {
 	colB := l.array(len(g.col), 4)
 	distB := l.nodeArray(int(g.n))
 
-	b := trace.NewBuilder("bfs", 1, p.NumCUs, p.WarpsPerCU)
 	for _, lv := range bfsLevels(g, 0) {
 		emitBFSLevel(b, g, lv, rowB, colB, []memory.VAddr{distB}, distB)
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildHotspot emits the 2D thermal stencil: each cell reads its four
+// emitHotspot emits the 2D thermal stencil: each cell reads its four
 // neighbours and the power grid — row-contiguous, strongly coalesced, low
 // translation demand.
-func buildHotspot(p Params) *trace.Trace {
-	p = p.normalized()
+func emitHotspot(p Params, b *trace.Builder) {
 	side := 256 * p.Scale
 	l := newLayout()
 	tempB := l.array(side*side, 4)
@@ -128,7 +118,6 @@ func buildHotspot(p Params) *trace.Trace {
 		return out
 	}
 
-	b := trace.NewBuilder("hotspot", 1, p.NumCUs, p.WarpsPerCU)
 	for step := 0; step < 2; step++ {
 		for row := 1; row < side-1; row++ {
 			for c0 := 0; c0+32 <= side; c0 += 32 {
@@ -143,21 +132,18 @@ func buildHotspot(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildLUD emits blocked LU decomposition on a page-padded matrix: the
+// emitLUD emits blocked LU decomposition on a page-padded matrix: the
 // diagonal tile streams through scratch, the row panel is coalesced, and
 // the column panel is accessed down the matrix — one page per lane, the
 // divergent phase that gives lud its translation demand.
-func buildLUD(p Params) *trace.Trace {
-	p = p.normalized()
+func emitLUD(p Params, b *trace.Builder) {
 	n := 128 * p.Scale
 	l := newLayout()
 	mB := l.array(n*memory.PageSize/4, 4)
 
 	const tile = 32
-	b := trace.NewBuilder("lud", 1, p.NumCUs, p.WarpsPerCU)
 	for kb := 0; kb < n/tile; kb++ {
 		k0 := kb * tile
 		// Diagonal tile: through scratch.
@@ -212,16 +198,14 @@ func buildLUD(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildNW emits Needleman-Wunsch: anti-diagonal waves of 32x32 blocks, each
+// emitNW emits Needleman-Wunsch: anti-diagonal waves of 32x32 blocks, each
 // block bursting its rows from global memory into the scratchpad, computing
 // there, and bursting results back — the bursty global-access pattern the
 // paper calls out for nw (high per-CU TLB miss ratio, low sustained
 // translation demand because the scratchpad dominates).
-func buildNW(p Params) *trace.Trace {
-	p = p.normalized()
+func emitNW(p Params, b *trace.Builder) {
 	side := 256 * p.Scale
 	const tile = 32
 	l := newLayout()
@@ -236,7 +220,6 @@ func buildNW(p Params) *trace.Trace {
 		return out
 	}
 
-	b := trace.NewBuilder("nw", 1, p.NumCUs, p.WarpsPerCU)
 	nb := side / tile
 	for wave := 0; wave < 2*nb-1; wave++ {
 		for bi := 0; bi < nb; bi++ {
@@ -267,21 +250,18 @@ func buildNW(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }
 
-// buildPathfinder emits the row-by-row dynamic program: each step bursts a
+// emitPathfinder emits the row-by-row dynamic program: each step bursts a
 // row of the cost grid into scratch, iterates there, and stores the result
 // row; a device barrier separates rows. Scratch-dominated like nw.
-func buildPathfinder(p Params) *trace.Trace {
-	p = p.normalized()
+func emitPathfinder(p Params, b *trace.Builder) {
 	cols := 2048 * p.Scale
 	const rows = 48
 	l := newLayout()
 	gridB := l.array(rows*cols, 4)
 	resB := l.array(2*cols, 4)
 
-	b := trace.NewBuilder("pathfinder", 1, p.NumCUs, p.WarpsPerCU)
 	for row := 0; row < rows; row++ {
 		for c0 := 0; c0+32 <= cols; c0 += 32 {
 			w := b.Warp()
@@ -297,5 +277,4 @@ func buildPathfinder(p Params) *trace.Trace {
 		}
 		b.Barrier()
 	}
-	return b.Build()
 }

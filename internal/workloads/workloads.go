@@ -13,6 +13,7 @@ package workloads
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"vcache/internal/memory"
@@ -66,35 +67,62 @@ func (p Params) normalized() Params {
 	return p
 }
 
-// Generator names one workload and builds its trace.
+// Generator names one workload and emits its trace. The emit body is
+// written once against the trace.Builder API and drives both backends:
+// Build materializes the whole trace in memory, BuildChunked streams it
+// into a v4 chunk writer so generation memory stays bounded by the chunk
+// budget no matter the scale.
 type Generator struct {
 	Name  string
 	Suite string // "pannotia" or "rodinia"
 	// HighBandwidth marks the paper's high-translation-bandwidth subset
 	// (used by Figures 5, 9 and 10).
 	HighBandwidth bool
-	Build         func(Params) *trace.Trace
+	emit          func(Params, *trace.Builder)
+}
+
+// Build materializes the workload's trace for the given parameters.
+func (g Generator) Build(p Params) *trace.Trace {
+	p = p.normalized()
+	b := trace.NewBuilder(g.Name, 1, p.NumCUs, p.WarpsPerCU)
+	g.emit(p, b)
+	return b.Build()
+}
+
+// BuildChunked streams the workload's trace into w as a v4 chunked
+// stream, emitting chunks as the generator produces instructions — the
+// whole trace is never resident. Returns the trace summary (identical to
+// Build(p).Summarize()). Chunk cuts are observable via opts.OnChunk for
+// progress reporting.
+func (g Generator) BuildChunked(p Params, w io.Writer, opts trace.ChunkOptions) (trace.Summary, error) {
+	p = p.normalized()
+	cw := trace.NewChunkWriter(w, g.Name, 1, p.NumCUs, p.WarpsPerCU, opts)
+	g.emit(p, trace.NewStreamingBuilder(cw))
+	if err := cw.Close(); err != nil {
+		return trace.Summary{}, err
+	}
+	return cw.Summary(), nil
 }
 
 // All returns the full catalog in the paper's figure order (Pannotia
 // first, then Rodinia).
 func All() []Generator {
 	return []Generator{
-		{Name: "bc", Suite: "pannotia", HighBandwidth: true, Build: buildBC},
-		{Name: "color_maxmin", Suite: "pannotia", HighBandwidth: true, Build: buildColorMaxMin},
-		{Name: "color_max", Suite: "pannotia", HighBandwidth: true, Build: buildColorMax},
-		{Name: "fw", Suite: "pannotia", HighBandwidth: true, Build: buildFW},
-		{Name: "fw_block", Suite: "pannotia", HighBandwidth: true, Build: buildFWBlock},
-		{Name: "mis", Suite: "pannotia", HighBandwidth: true, Build: buildMIS},
-		{Name: "pagerank", Suite: "pannotia", HighBandwidth: true, Build: buildPageRank},
-		{Name: "pagerank_spmv", Suite: "pannotia", HighBandwidth: true, Build: buildPageRankSpmv},
-		{Name: "kmeans", Suite: "rodinia", HighBandwidth: false, Build: buildKMeans},
-		{Name: "backprop", Suite: "rodinia", HighBandwidth: false, Build: buildBackprop},
-		{Name: "bfs", Suite: "rodinia", HighBandwidth: true, Build: buildBFS},
-		{Name: "hotspot", Suite: "rodinia", HighBandwidth: false, Build: buildHotspot},
-		{Name: "lud", Suite: "rodinia", HighBandwidth: true, Build: buildLUD},
-		{Name: "nw", Suite: "rodinia", HighBandwidth: false, Build: buildNW},
-		{Name: "pathfinder", Suite: "rodinia", HighBandwidth: false, Build: buildPathfinder},
+		{Name: "bc", Suite: "pannotia", HighBandwidth: true, emit: emitBC},
+		{Name: "color_maxmin", Suite: "pannotia", HighBandwidth: true, emit: emitColorMaxMin},
+		{Name: "color_max", Suite: "pannotia", HighBandwidth: true, emit: emitColorMax},
+		{Name: "fw", Suite: "pannotia", HighBandwidth: true, emit: emitFW},
+		{Name: "fw_block", Suite: "pannotia", HighBandwidth: true, emit: emitFWBlock},
+		{Name: "mis", Suite: "pannotia", HighBandwidth: true, emit: emitMIS},
+		{Name: "pagerank", Suite: "pannotia", HighBandwidth: true, emit: emitPageRank},
+		{Name: "pagerank_spmv", Suite: "pannotia", HighBandwidth: true, emit: emitPageRankSpmv},
+		{Name: "kmeans", Suite: "rodinia", HighBandwidth: false, emit: emitKMeans},
+		{Name: "backprop", Suite: "rodinia", HighBandwidth: false, emit: emitBackprop},
+		{Name: "bfs", Suite: "rodinia", HighBandwidth: true, emit: emitBFS},
+		{Name: "hotspot", Suite: "rodinia", HighBandwidth: false, emit: emitHotspot},
+		{Name: "lud", Suite: "rodinia", HighBandwidth: true, emit: emitLUD},
+		{Name: "nw", Suite: "rodinia", HighBandwidth: false, emit: emitNW},
+		{Name: "pathfinder", Suite: "rodinia", HighBandwidth: false, emit: emitPathfinder},
 	}
 }
 
@@ -379,8 +407,13 @@ func sortedCopy(xs []int32) []int32 {
 // Describe returns a one-line summary of a generated trace (used by
 // cmd/tracegen).
 func Describe(g Generator, p Params) string {
-	tr := g.Build(p)
-	s := tr.Summarize()
+	return DescribeSummary(g, g.Build(p).Summarize())
+}
+
+// DescribeSummary formats Describe's line from an already-computed
+// summary — what cmd/tracegen's streaming path uses, since a chunked
+// generation yields a Summary without ever materializing the trace.
+func DescribeSummary(g Generator, s trace.Summary) string {
 	return fmt.Sprintf("%-14s %-8s memInsts=%-7d lanes=%-8d lines=%-8d div=%.2f pages=%-6d scratch=%-6d barriers=%d",
 		g.Name, g.Suite, s.MemInsts, s.LaneAccesses, s.CoalescedLines, s.Divergence, s.DistinctPages, s.ScratchOps, s.Barriers)
 }
