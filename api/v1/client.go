@@ -1,0 +1,288 @@
+package apiv1
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"vcache/internal/core"
+)
+
+// Client talks to a vcsimd instance over its /v1 JSON API. The zero value
+// is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8437".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response: the HTTP status, the server's error
+// message, and the Retry-After delay on 429s.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // non-zero only on 429
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("apiv1: server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes a 2xx JSON body into out (when out is
+// non-nil). Non-2xx responses become *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("apiv1: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp, body)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = body
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("apiv1: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response, body []byte) error {
+	var eb ErrorBody
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	ae := &APIError{Status: resp.StatusCode, Message: msg}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if ae.RetryAfter == 0 && eb.RetryAfterSeconds > 0 {
+			ae.RetryAfter = time.Duration(eb.RetryAfterSeconds) * time.Second
+		}
+	}
+	return ae
+}
+
+func (c *Client) url(path string) string { return c.BaseURL + path }
+
+// Submit enqueues a job and returns its status document immediately
+// (state "queued", or "done" on a cache hit). A full queue returns an
+// *APIError with Status 429 and a RetryAfter hint.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	return c.submit(ctx, spec, "/v1/jobs")
+}
+
+// SubmitWait enqueues a job and blocks until it reaches a terminal state;
+// the returned JobInfo inlines the canonical result document for done
+// jobs. Cancellation of ctx cancels the job server-side (the connection
+// drop propagates).
+func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	return c.submit(ctx, spec, "/v1/jobs?wait=1")
+}
+
+func (c *Client) submit(ctx context.Context, spec JobSpec, path string) (JobInfo, error) {
+	if spec.APIVersion == "" {
+		spec.APIVersion = Version
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("apiv1: encoding job spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return JobInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var info JobInfo
+	if err := c.do(req, &info); err != nil {
+		return JobInfo{}, err
+	}
+	return info, nil
+}
+
+// Job fetches a job's status document. Unknown IDs return ErrNotFound.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	var info JobInfo
+	if err := c.do(req, &info); err != nil {
+		return JobInfo{}, mapNotFound(err)
+	}
+	return info, nil
+}
+
+// Result fetches a done job's canonical result document: the decoded
+// results plus the exact bytes the server holds (byte-compare these to
+// prove two jobs produced identical results).
+func (c *Client) Result(ctx context.Context, id string) (core.Results, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result"), nil)
+	if err != nil {
+		return core.Results{}, nil, err
+	}
+	var raw []byte
+	if err := c.do(req, &raw); err != nil {
+		return core.Results{}, nil, mapNotFound(err)
+	}
+	res, err := DecodeResults(raw)
+	if err != nil {
+		return core.Results{}, nil, err
+	}
+	return res, raw, nil
+}
+
+// Cancel cancels a queued or running job. Canceling a terminal job is a
+// no-op.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	return mapNotFound(c.do(req, nil))
+}
+
+// Queue fetches the queue introspection document.
+func (c *Client) Queue(ctx context.Context) (QueueInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/queue"), nil)
+	if err != nil {
+		return QueueInfo{}, err
+	}
+	var q QueueInfo
+	if err := c.do(req, &q); err != nil {
+		return QueueInfo{}, err
+	}
+	return q, nil
+}
+
+// Health fetches the health document.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/health"), nil)
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	if err := c.do(req, &h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}
+
+// Wait polls a job until it reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Events streams a job's SSE event feed, invoking fn per event until the
+// stream ends (the job reached a terminal state), fn returns a non-nil
+// error, or ctx is canceled.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return mapNotFound(decodeAPIError(resp, body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var data bytes.Buffer
+	flush := func() error {
+		if data.Len() == 0 {
+			return nil
+		}
+		var ev Event
+		if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+			return fmt.Errorf("apiv1: decoding event: %w", err)
+		}
+		data.Reset()
+		return fn(ev)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+		// "event:" and comment lines carry no payload we need; the JSON
+		// data line is self-describing via Event.Type.
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func mapNotFound(err error) error {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrNotFound, ae.Message)
+	}
+	return err
+}

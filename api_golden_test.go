@@ -16,6 +16,7 @@ import (
 // update this list in the same commit and call the change out in review.
 var apiGolden = []string{
 	"const IdealMMU",
+	"const JobAPIVersion",
 	"const L1OnlyVirtual",
 	"const PermRead",
 	"const PermWrite",
@@ -28,6 +29,8 @@ var apiGolden = []string{
 	"func HighBandwidthWorkloads",
 	"func LoadTrace",
 	"func NewExperimentSuite",
+	"func NewJobClient",
+	"func NewJobServer",
 	"func OpenArtifactCache",
 	"func NewSystem",
 	"func NewTraceBuilder",
@@ -35,15 +38,25 @@ var apiGolden = []string{
 	"func NewTraceWriter",
 	"func Run",
 	"func RunContext",
+	"func Serve",
 	"func Workloads",
 	"type ASID",
 	"type ArtifactCache",
 	"type Config",
 	"type ConfigError",
+	"type DesignSpec",
 	"type EventSink",
 	"type ExperimentSuite",
 	"type FaultCounts",
 	"type Generator",
+	"type JobClient",
+	"type JobEvent",
+	"type JobInfo",
+	"type JobQueueInfo",
+	"type JobServer",
+	"type JobServerOptions",
+	"type JobSpec",
+	"type JobState",
 	"type Latencies",
 	"type Lifetimes",
 	"type MMUKind",
@@ -57,12 +70,15 @@ var apiGolden = []string{
 	"type ProgressFunc",
 	"type Results",
 	"type RunEvent",
+	"type ServiceHealth",
 	"type System",
 	"type Trace",
 	"type TraceBuilder",
 	"type TraceEvent",
 	"type TraceWriter",
 	"type VAddr",
+	"type WorkloadSpec",
+	"var DecodeJobSpec",
 	"var DesignBaseline16K",
 	"var DesignBaseline512",
 	"var DesignBaselineLargePerCU",

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -79,6 +80,13 @@ func main() {
 		args = append(args, "-benchtime", *benchtime)
 	}
 	if err := runBench(&snap, append(args, micro...)); err != nil {
+		fatal(err)
+	}
+
+	// Serving layer: jobs/s and latency quantiles through a real vcsimd
+	// subprocess for the three canonical mixes (cold simulations,
+	// warm-cache hits, coalesced duplicates).
+	if err := serveThroughputBench(&snap); err != nil {
 		fatal(err)
 	}
 
@@ -231,6 +239,129 @@ func streamRSSBench(snap *Snapshot, quick bool) error {
 		}
 	}
 	return nil
+}
+
+// serveThroughputBench measures the serving layer end to end: it boots a
+// vcsimd subprocess on a loopback port with a fresh artifact cache and
+// drives it with vcload's three submission mixes —
+//
+//	cold  distinct jobs, every one simulates
+//	warm  identical jobs after priming, every one a cache hit
+//	dup   concurrent identical jobs, one simulates, the rest coalesce
+//
+// recording jobs/s and p50/p99 wait-mode latency per mix. pagerank (~1s
+// cold) keeps the warm-vs-cold contrast unmistakable: a warm hit is an
+// HTTP round trip plus a cache read, orders of magnitude under a cold
+// simulation. The warm entry also carries cold_over_warm_p50, the ratio
+// the acceptance criteria bound (>= 100x).
+func serveThroughputBench(snap *Snapshot) error {
+	dir, err := os.MkdirTemp("", "vcache-bench-serve-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	vcsimd := filepath.Join(dir, "vcsimd")
+	vcload := filepath.Join(dir, "vcload")
+	if out, err := exec.Command("go", "build", "-o", vcsimd, "./cmd/vcsimd").CombinedOutput(); err != nil {
+		return fmt.Errorf("building vcsimd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", vcload, "./cmd/vcload").CombinedOutput(); err != nil {
+		return fmt.Errorf("building vcload: %v\n%s", err, out)
+	}
+
+	const addr = "127.0.0.1:8473"
+	daemon := exec.Command(vcsimd, "-addr", addr, "-cache", filepath.Join(dir, "cache"), "-quiet")
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting vcsimd: %w", err)
+	}
+	defer func() {
+		_ = daemon.Process.Signal(syscall.SIGINT)
+		_ = daemon.Wait()
+	}()
+	if err := waitHealthy(addr, 10*time.Second); err != nil {
+		return err
+	}
+
+	type mixReport struct {
+		Mix        string  `json:"mix"`
+		Jobs       int     `json:"jobs"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		P50MS      float64 `json:"p50_ms"`
+		P99MS      float64 `json:"p99_ms"`
+		MeanMS     float64 `json:"mean_ms"`
+		CacheHits  int     `json:"cache_hits"`
+		Coalesced  int     `json:"coalesced"`
+		Simulated  int     `json:"simulated"`
+	}
+	run := func(args ...string) (mixReport, error) {
+		base := []string{"-addr", "http://" + addr, "-workload", "pagerank", "-json"}
+		cmd := exec.Command(vcload, append(base, args...)...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return mixReport{}, fmt.Errorf("vcload %s: %w", strings.Join(args, " "), err)
+		}
+		var rep mixReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			return mixReport{}, fmt.Errorf("parsing vcload output %q: %w", out.String(), err)
+		}
+		return rep, nil
+	}
+
+	cold, err := run("-mix", "cold", "-jobs", "3", "-seed-base", "100", "-concurrency", "1")
+	if err != nil {
+		return err
+	}
+	warm, err := run("-mix", "warm", "-jobs", "20", "-concurrency", "4")
+	if err != nil {
+		return err
+	}
+	dup, err := run("-mix", "dup", "-jobs", "8", "-seed-base", "200", "-concurrency", "8")
+	if err != nil {
+		return err
+	}
+
+	for _, rep := range []mixReport{cold, warm, dup} {
+		m := map[string]float64{
+			"jobs_per_sec": rep.JobsPerSec,
+			"p50_ms":       rep.P50MS,
+			"p99_ms":       rep.P99MS,
+			"mean_ms":      rep.MeanMS,
+			"simulated":    float64(rep.Simulated),
+			"cache_hits":   float64(rep.CacheHits),
+			"coalesced":    float64(rep.Coalesced),
+		}
+		if rep.Mix == "warm" && rep.P50MS > 0 {
+			m["cold_over_warm_p50"] = cold.P50MS / rep.P50MS
+		}
+		fmt.Fprintf(os.Stderr, "serve throughput: %-4s %6.1f jobs/s  p50 %8.2fms  p99 %8.2fms\n",
+			rep.Mix, rep.JobsPerSec, rep.P50MS, rep.P99MS)
+		snap.Benchmarks = append(snap.Benchmarks, Benchmark{
+			Name:       "ServeThroughput/" + rep.Mix,
+			Package:    "vcache/bench",
+			Iterations: int64(rep.Jobs),
+			Metrics:    m,
+		})
+	}
+	return nil
+}
+
+// waitHealthy polls the daemon's health endpoint until it answers.
+func waitHealthy(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/health")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("vcsimd at %s not healthy after %s", addr, timeout)
 }
 
 // peakRSSBytes extracts the child's peak resident set size in bytes.

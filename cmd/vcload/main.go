@@ -1,0 +1,297 @@
+// Command vcload is vcsimd's load generator and acceptance client. It
+// drives a running daemon with one of three submission mixes and reports
+// throughput (jobs/s) and latency quantiles (p50/p99):
+//
+//	cold  N distinct jobs (unique seeds) — every one simulates
+//	warm  N identical jobs after a priming run — every one is a cache hit
+//	dup   N identical jobs fired concurrently with no priming — one
+//	      simulates, the rest coalesce onto it or hit the fresh cache entry
+//
+// Usage:
+//
+//	vcload -mix warm -jobs 20                 # human-readable summary
+//	vcload -mix cold -jobs 5 -json            # machine-readable (bench harness)
+//	vcload -verify                            # CI acceptance: submit twice,
+//	                                          # assert byte-identical hit
+//
+// Every mode checks result integrity, not just liveness: jobs that share a
+// fingerprint must return byte-identical canonical result documents.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	apiv1 "vcache/api/v1"
+)
+
+// MixReport is one mix's measurement, printed as JSON under -json.
+type MixReport struct {
+	Mix         string  `json:"mix"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	Workload    string  `json:"workload"`
+	Design      string  `json:"design"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	CacheHits   int     `json:"cache_hits"`
+	Coalesced   int     `json:"coalesced"`
+	Simulated   int     `json:"simulated"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8437", "vcsimd base URL")
+	mix := flag.String("mix", "warm", "submission mix: cold, warm or dup")
+	jobs := flag.Int("jobs", 10, "number of jobs to submit")
+	conc := flag.Int("concurrency", 4, "concurrent in-flight submissions")
+	workload := flag.String("workload", "nw", "workload name")
+	design := flag.String("design", "vc-opt", "design preset")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seedBase := flag.Uint64("seed-base", 0, "first seed for the cold mix (cold uses seed-base..seed-base+jobs-1)")
+	priority := flag.Int("priority", 0, "job priority")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	verify := flag.Bool("verify", false, "acceptance mode: submit one job twice, require a byte-identical cache/coalesce hit")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := apiv1.NewClient(*addr)
+
+	if _, err := client.Health(ctx); err != nil {
+		fatal(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
+	}
+
+	if *verify {
+		if err := runVerify(ctx, client, *workload, *design, *scale); err != nil {
+			fatal(err)
+		}
+		fmt.Println("vcload: verify OK — second submission was a byte-identical hit")
+		return
+	}
+
+	spec := func(seed uint64) apiv1.JobSpec {
+		s := apiv1.JobSpec{
+			APIVersion: apiv1.Version,
+			Workload:   apiv1.WorkloadSpec{Name: *workload},
+			Design:     apiv1.DesignSpec{Preset: *design},
+			Priority:   *priority,
+		}
+		s.Workload.Params.Scale = *scale
+		s.Workload.Params.Seed = seed
+		return s
+	}
+
+	rep, err := runMix(ctx, client, *mix, *jobs, *conc, *seedBase, spec)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Workload, rep.Design = *workload, *design
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("vcload %s: %d jobs in %.2fs — %.1f jobs/s, p50 %.2fms, p99 %.2fms (hits %d, coalesced %d, simulated %d)\n",
+		rep.Mix, rep.Jobs, rep.WallSeconds, rep.JobsPerSec, rep.P50MS, rep.P99MS,
+		rep.CacheHits, rep.Coalesced, rep.Simulated)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcload:", err)
+	os.Exit(1)
+}
+
+// runMix executes one submission mix and gathers per-job latencies and
+// result-identity checks.
+func runMix(ctx context.Context, client *apiv1.Client, mix string, jobs, conc int, seedBase uint64, spec func(seed uint64) apiv1.JobSpec) (MixReport, error) {
+	if jobs < 1 {
+		return MixReport{}, fmt.Errorf("need at least 1 job, got %d", jobs)
+	}
+	seeds := make([]uint64, jobs)
+	switch mix {
+	case "cold":
+		for i := range seeds {
+			seeds[i] = seedBase + uint64(i)
+		}
+	case "warm":
+		// Prime once (untimed), then hammer the same fingerprint.
+		if info, err := submitRetry(ctx, client, spec(seedBase)); err != nil {
+			return MixReport{}, fmt.Errorf("priming run: %w", err)
+		} else if info.State != apiv1.JobDone {
+			return MixReport{}, fmt.Errorf("priming run ended %s: %s", info.State, info.Error)
+		}
+		for i := range seeds {
+			seeds[i] = seedBase
+		}
+	case "dup":
+		// No priming: the first arrival simulates, concurrent duplicates
+		// coalesce onto it (later ones hit the cache it fills).
+		for i := range seeds {
+			seeds[i] = seedBase
+		}
+	default:
+		return MixReport{}, fmt.Errorf("unknown mix %q (cold, warm or dup)", mix)
+	}
+
+	if conc < 1 {
+		conc = 1
+	}
+	type outcome struct {
+		info apiv1.JobInfo
+		ms   float64
+		err  error
+	}
+	outcomes := make([]outcome, jobs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			info, err := submitRetry(ctx, client, spec(seeds[i]))
+			outcomes[i] = outcome{info: info, ms: float64(time.Since(t0).Microseconds()) / 1e3, err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := MixReport{Mix: mix, Jobs: jobs, Concurrency: conc, WallSeconds: wall.Seconds()}
+	lat := make([]float64, 0, jobs)
+	byFP := map[string]string{} // fingerprint -> first result body
+	var sum float64
+	for i, o := range outcomes {
+		if o.err != nil {
+			return rep, fmt.Errorf("job %d: %w", i, o.err)
+		}
+		if o.info.State != apiv1.JobDone {
+			return rep, fmt.Errorf("job %d ended %s: %s", i, o.info.State, o.info.Error)
+		}
+		lat = append(lat, o.ms)
+		sum += o.ms
+		switch {
+		case o.info.CacheHit:
+			rep.CacheHits++
+		case o.info.Coalesced:
+			rep.Coalesced++
+		default:
+			rep.Simulated++
+		}
+		// Identity check: one fingerprint, one byte string.
+		body := string(o.info.Result)
+		if prev, ok := byFP[o.info.Fingerprint]; ok {
+			if prev != body {
+				return rep, fmt.Errorf("job %d: result bytes diverge from an earlier job with the same fingerprint", i)
+			}
+		} else {
+			byFP[o.info.Fingerprint] = body
+		}
+	}
+	sort.Float64s(lat)
+	rep.JobsPerSec = float64(jobs) / wall.Seconds()
+	rep.P50MS = quantile(lat, 0.50)
+	rep.P99MS = quantile(lat, 0.99)
+	rep.MeanMS = sum / float64(jobs)
+	return rep, nil
+}
+
+// submitRetry is SubmitWait with backoff on 429: a load generator that
+// gives up when admission control works as designed would be useless.
+func submitRetry(ctx context.Context, client *apiv1.Client, spec apiv1.JobSpec) (apiv1.JobInfo, error) {
+	for {
+		info, err := client.SubmitWait(ctx, spec)
+		var ae *apiv1.APIError
+		if err == nil || !apiErrorIs429(err, &ae) {
+			return info, err
+		}
+		delay := ae.RetryAfter
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return apiv1.JobInfo{}, ctx.Err()
+		}
+	}
+}
+
+func apiErrorIs429(err error, out **apiv1.APIError) bool {
+	ae, ok := err.(*apiv1.APIError)
+	if !ok || ae.Status != 429 {
+		return false
+	}
+	*out = ae
+	return true
+}
+
+// runVerify is the CI acceptance check: the same spec submitted twice
+// must produce one simulation and one byte-identical cache/coalesce hit.
+func runVerify(ctx context.Context, client *apiv1.Client, workload, design string, scale int) error {
+	spec := apiv1.JobSpec{
+		APIVersion: apiv1.Version,
+		Workload:   apiv1.WorkloadSpec{Name: workload},
+		Design:     apiv1.DesignSpec{Preset: design},
+	}
+	spec.Workload.Params.Scale = scale
+
+	first, err := client.SubmitWait(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("first submission: %w", err)
+	}
+	if first.State != apiv1.JobDone {
+		return fmt.Errorf("first submission ended %s: %s", first.State, first.Error)
+	}
+	second, err := client.SubmitWait(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("second submission: %w", err)
+	}
+	if second.State != apiv1.JobDone {
+		return fmt.Errorf("second submission ended %s: %s", second.State, second.Error)
+	}
+	if !second.CacheHit && !second.Coalesced {
+		return fmt.Errorf("second identical submission was neither a cache hit nor coalesced")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		return fmt.Errorf("identical submissions got different fingerprints")
+	}
+	_, rawA, err := client.Result(ctx, first.ID)
+	if err != nil {
+		return fmt.Errorf("fetching first result: %w", err)
+	}
+	_, rawB, err := client.Result(ctx, second.ID)
+	if err != nil {
+		return fmt.Errorf("fetching second result: %w", err)
+	}
+	if string(rawA) != string(rawB) {
+		return fmt.Errorf("second response is not byte-identical to the first (%d vs %d bytes)", len(rawA), len(rawB))
+	}
+	return nil
+}
+
+// quantile reads the q-th quantile from sorted latencies (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -30,60 +30,11 @@ import (
 //     (purely cosmetic), it still invalidates the cache once; that is the
 //     safe direction.
 
-// mutateLeaves applies f to a fresh copy of template for every exported
-// leaf field, with the leaf mutated to a different value. path describes
-// the leaf for error messages.
-func mutateLeaves(t *testing.T, template reflect.Value, f func(path string, mutated reflect.Value)) {
-	t.Helper()
-	var walk func(get func(root reflect.Value) reflect.Value, typ reflect.Type, path string)
-	walk = func(get func(root reflect.Value) reflect.Value, typ reflect.Type, path string) {
-		if typ.Kind() == reflect.Struct && typ.NumField() > 0 {
-			exported := false
-			for i := 0; i < typ.NumField(); i++ {
-				fld := typ.Field(i)
-				if !fld.IsExported() {
-					continue
-				}
-				exported = true
-				i := i
-				walk(func(root reflect.Value) reflect.Value {
-					return get(root).Field(i)
-				}, fld.Type, path+"."+fld.Name)
-			}
-			if exported {
-				return
-			}
-		}
-		// Leaf: copy the template, mutate just this field.
-		root := reflect.New(template.Type()).Elem()
-		root.Set(template)
-		leaf := get(root)
-		switch leaf.Kind() {
-		case reflect.Bool:
-			leaf.SetBool(!leaf.Bool())
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			leaf.SetInt(leaf.Int() + 1)
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			leaf.SetUint(leaf.Uint() + 1)
-		case reflect.Float32, reflect.Float64:
-			leaf.SetFloat(leaf.Float() + 1)
-		case reflect.String:
-			leaf.SetString(leaf.String() + "x")
-		default:
-			t.Fatalf("%s: unsupported leaf kind %s — extend mutateLeaves and the codec together", path, leaf.Kind())
-		}
-		f(path, root)
-	}
-	walk(func(root reflect.Value) reflect.Value { return root }, template.Type(), template.Type().Name())
-}
-
 func TestFingerprintCoversEveryConfigField(t *testing.T) {
 	cfg := core.DesignBaseline512()
 	base := core.ConfigFingerprint(cfg)
-	n := 0
-	mutateLeaves(t, reflect.ValueOf(cfg), func(path string, mutated reflect.Value) {
-		n++
-		if core.ConfigFingerprint(mutated.Interface().(core.Config)) == base {
+	n := fingerprint.MutateLeaves(cfg, func(path string, mutated any) {
+		if core.ConfigFingerprint(mutated.(core.Config)) == base {
 			t.Errorf("%s: mutating the field did not change ConfigFingerprint", path)
 		}
 	})
@@ -95,8 +46,8 @@ func TestFingerprintCoversEveryConfigField(t *testing.T) {
 func TestFingerprintCoversEveryParamsField(t *testing.T) {
 	p := workloads.DefaultParams()
 	base := TraceKey("bfs", p)
-	mutateLeaves(t, reflect.ValueOf(p), func(path string, mutated reflect.Value) {
-		if TraceKey("bfs", mutated.Interface().(workloads.Params)) == base {
+	fingerprint.MutateLeaves(p, func(path string, mutated any) {
+		if TraceKey("bfs", mutated.(workloads.Params)) == base {
 			t.Errorf("%s: mutating the field did not change TraceKey", path)
 		}
 	})

@@ -71,7 +71,7 @@ type System struct {
 	io      *iommu.IOMMU
 	fbt     *fbt.FBT
 	l2      *cache.Cache
-	l2banks []*sim.Server
+	l2banks []*sim.BandwidthServer
 	l1s     []*cache.Cache
 	cuTLBs  []*tlb.TLB
 	cuTLB2s []*tlb.TLB           // optional private second-level TLBs
@@ -160,7 +160,7 @@ func New(cfg Config) (*System, error) {
 		banks = 1
 	}
 	for i := 0; i < banks; i++ {
-		s.l2banks = append(s.l2banks, sim.NewServer(eng, cfg.L2BankPorts))
+		s.l2banks = append(s.l2banks, sim.NewBandwidthServer(eng, cfg.L2BankPorts))
 	}
 
 	// Per-CU L1s, TLBs, invalidation filters, and TLB-miss MSHRs.

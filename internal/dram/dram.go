@@ -37,13 +37,13 @@ func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 type DRAM struct {
 	eng    *sim.Engine
 	cfg    Config
-	server *sim.Server
+	server *sim.BandwidthServer
 	stats  Stats
 }
 
 // New builds a DRAM model.
 func New(eng *sim.Engine, cfg Config) *DRAM {
-	return &DRAM{eng: eng, cfg: cfg, server: sim.NewServer(eng, cfg.LinesPerCycle)}
+	return &DRAM{eng: eng, cfg: cfg, server: sim.NewBandwidthServer(eng, cfg.LinesPerCycle)}
 }
 
 // Stats returns a copy of the traffic counters.

@@ -120,7 +120,7 @@ type GPU struct {
 type cu struct {
 	id    int
 	eng   *sim.Engine
-	port  *sim.Server
+	port  *sim.BandwidthServer
 	warps []*warp
 	st    Stats
 }
@@ -159,7 +159,7 @@ func New(eng *sim.Engine, cfg Config, path MemoryPath) *GPU {
 	}
 	g := &GPU{eng: eng, cfg: cfg, path: path}
 	for i := 0; i < cfg.NumCUs; i++ {
-		g.cus = append(g.cus, &cu{id: i, eng: eng, port: sim.NewServer(eng, cfg.IssuePerCycle)})
+		g.cus = append(g.cus, &cu{id: i, eng: eng, port: sim.NewBandwidthServer(eng, cfg.IssuePerCycle)})
 	}
 	return g
 }
@@ -188,7 +188,7 @@ func (g *GPU) Partition(cuEng func(cu int) *sim.Engine, toCoord func(cu int, fn 
 	g.toCoord, g.toCU = toCoord, toCU
 	for _, c := range g.cus {
 		c.eng = cuEng(c.id)
-		c.port = sim.NewServer(c.eng, g.cfg.IssuePerCycle)
+		c.port = sim.NewBandwidthServer(c.eng, g.cfg.IssuePerCycle)
 	}
 }
 

@@ -81,7 +81,7 @@ type Result struct {
 type IOMMU struct {
 	eng     *sim.Engine
 	cfg     Config
-	ports   []*sim.Server
+	ports   []*sim.BandwidthServer
 	tlb     *tlb.TLB
 	walker  *ptw.Walker
 	sampler *stats.IntervalSampler
@@ -128,7 +128,7 @@ func New(eng *sim.Engine, cfg Config, walker *ptw.Walker) *IOMMU {
 		pending: make(map[pendKey][]func(Result)),
 	}
 	for i := 0; i < cfg.Banks; i++ {
-		io.ports = append(io.ports, sim.NewServer(eng, cfg.LookupsPerCycle))
+		io.ports = append(io.ports, sim.NewBandwidthServer(eng, cfg.LookupsPerCycle))
 	}
 	io.tlb.Clock = eng.Now
 	return io
@@ -159,7 +159,7 @@ func (io *IOMMU) Stats() Stats {
 // bank maps a VPN to its port. Banked TLBs hash on higher-order address
 // bits (low bits select the set within a bank), which is exactly why
 // workloads with page-cluster locality conflict.
-func (io *IOMMU) bank(vpn memory.VPN) *sim.Server {
+func (io *IOMMU) bank(vpn memory.VPN) *sim.BandwidthServer {
 	if len(io.ports) == 1 {
 		return io.ports[0]
 	}

@@ -29,7 +29,7 @@ const (
 // and a bandwidth limit in messages per cycle (0 = unlimited).
 type Link struct {
 	Latency uint64
-	server  *sim.Server
+	server  *sim.BandwidthServer
 
 	// Messages counts traversals.
 	Messages uint64
@@ -49,7 +49,7 @@ func New(eng *sim.Engine) *Network {
 // AddLink installs a link for route with the given latency and bandwidth
 // (messages per cycle; 0 = unlimited). Adding a route twice replaces it.
 func (n *Network) AddLink(r Route, latency uint64, perCycle int) *Link {
-	l := &Link{Latency: latency, server: sim.NewServer(n.eng, perCycle)}
+	l := &Link{Latency: latency, server: sim.NewBandwidthServer(n.eng, perCycle)}
 	n.links[r] = l
 	return l
 }

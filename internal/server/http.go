@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	apiv1 "vcache/api/v1"
+)
+
+// Handler returns the daemon's HTTP surface: the api/v1 job endpoints
+// over the job engine.
+//
+//	POST   /v1/jobs          submit (``?wait=1`` blocks for the result)
+//	GET    /v1/jobs/{id}     status
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /v1/jobs/{id}/result  canonical result bytes
+//	GET    /v1/jobs/{id}/events  SSE progress/metrics/lifecycle stream
+//	GET    /v1/queue         queue introspection
+//	GET    /v1/health        health
+//	GET    /v1/metrics       server metrics-registry snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/queue", s.handleQueue)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders one response document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}
+
+// writeError maps engine errors onto the wire: 400 for spec errors, 429
+// (with Retry-After) for admission rejections, 404 for unknown jobs, 503
+// during shutdown.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var spec *apiv1.SpecError
+	switch {
+	case errors.As(err, &spec):
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorBody{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, apiv1.ErrorBody{
+			Error: err.Error(), RetryAfterSeconds: retry,
+		})
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, apiv1.ErrorBody{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, apiv1.ErrorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiv1.ErrorBody{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds is the 429 hint: one second per busy worker plus one
+// — crude, but proportional to how far behind the pool is.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1 + s.busy
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := apiv1.ReadJobSpec(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	info, err := s.Submit(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, info)
+		return
+	}
+	// Wait mode: the response is the terminal status with the result
+	// inlined. A client disconnect cancels the submission — the request
+	// context is the job's lifeline.
+	id := info.ID
+	info, err = s.Wait(r.Context(), id)
+	if err != nil {
+		_ = s.Cancel(id) // disconnect: release the worker slot
+		s.writeError(w, err)
+		return
+	}
+	if info.State == apiv1.JobDone {
+		if res, rerr := s.Result(info.ID); rerr == nil {
+			info.Result = res
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	info, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := s.Result(id)
+	if err != nil {
+		if errors.Is(err, ErrUnknownJob) {
+			s.writeError(w, err)
+			return
+		}
+		// Known job, no result (yet): 409 keeps it distinct from 404.
+		writeJSON(w, http.StatusConflict, apiv1.ErrorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.Subscribe(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal event delivered
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b); err != nil {
+				return // watcher gone; detach without touching the job
+			}
+			if canFlush {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Queue())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.MetricsSnapshot().WriteJSONL(w)
+}

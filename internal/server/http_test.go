@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "vcache/api/v1"
+	"vcache/internal/artifact"
+	"vcache/internal/core"
+	"vcache/internal/workloads"
+)
+
+// newHTTPServer boots a real daemon (real simulations, disk-backed
+// artifact cache in a test temp dir) behind httptest.
+func newHTTPServer(t *testing.T) (*apiv1.Client, *Server) {
+	t.Helper()
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("artifact.Open: %v", err)
+	}
+	s := New(Options{Workers: 1, QueueCap: 16, Cache: cache, Intra: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return apiv1.NewClient(ts.URL), s
+}
+
+// nwSpec is the small fast workload used end-to-end (~20ms cold).
+func nwSpec() apiv1.JobSpec {
+	return apiv1.JobSpec{
+		APIVersion: apiv1.Version,
+		Workload:   apiv1.WorkloadSpec{Name: "nw", Params: workloads.Params{Scale: 1}},
+		Design:     apiv1.DesignSpec{Preset: "vc-opt"},
+	}
+}
+
+func TestHTTPServedResultMatchesLocalRun(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := client.SubmitWait(ctx, nwSpec())
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if info.State != apiv1.JobDone {
+		t.Fatalf("job state %s (%s), want done", info.State, info.Error)
+	}
+	if info.CacheHit || info.Coalesced {
+		t.Errorf("first-ever job marked cache_hit=%v coalesced=%v", info.CacheHit, info.Coalesced)
+	}
+	if len(info.Result) == 0 {
+		t.Fatal("wait-mode response did not inline the result")
+	}
+
+	// The acceptance bar: bytes fetched over HTTP must equal a local
+	// canonical-schedule run of the same spec.
+	_, raw, err := client.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	cfg, p, err := nwSpec().Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	g, _ := workloads.ByName("nw")
+	local, err := core.RunContext(ctx, cfg, g.Build(p), core.WithIntraParallelism(1))
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if want := string(apiv1.EncodeResults(local)); string(raw) != want {
+		t.Errorf("served result differs from local run:\nserved: %.120s\nlocal:  %.120s", raw, want)
+	}
+	if strings.TrimSpace(string(info.Result)) != strings.TrimSpace(string(raw)) {
+		t.Error("inlined wait-mode result differs from the result endpoint")
+	}
+}
+
+func TestHTTPWarmCacheHitIsByteIdentical(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	first, err := client.SubmitWait(ctx, nwSpec())
+	if err != nil {
+		t.Fatalf("cold SubmitWait: %v", err)
+	}
+	second, err := client.SubmitWait(ctx, nwSpec())
+	if err != nil {
+		t.Fatalf("warm SubmitWait: %v", err)
+	}
+	if !second.CacheHit {
+		t.Error("second identical submission not served from the cache")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Error("identical submissions got different fingerprints")
+	}
+	_, rawA, err := client.Result(ctx, first.ID)
+	if err != nil {
+		t.Fatalf("first result: %v", err)
+	}
+	_, rawB, err := client.Result(ctx, second.ID)
+	if err != nil {
+		t.Fatalf("second result: %v", err)
+	}
+	if string(rawA) != string(rawB) {
+		t.Error("cache-hit result bytes differ from the cold run's")
+	}
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := client.Submit(ctx, nwSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	seen := map[string]int{}
+	var last apiv1.Event
+	err = client.Events(ctx, info.ID, func(ev apiv1.Event) error {
+		seen[ev.Type]++
+		last = ev
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if seen["state"] == 0 || seen["done"] != 1 {
+		t.Errorf("event mix %v, want state events and exactly one done", seen)
+	}
+	if seen["metrics"] != 1 {
+		t.Errorf("event mix %v, want exactly one metrics snapshot", seen)
+	}
+	if last.Type != "done" || last.State != apiv1.JobDone {
+		t.Errorf("last event %+v, want done/done", last)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	// A tiny queue over the real runner: block the worker with a slow
+	// job, fill the queue, then overflow it.
+	client, s := newHTTPServer(t)
+	g := newGateRunner()
+	s.runner = g // swap in the blocking fake before any submission
+	s.queueCap = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sp := nwSpec()
+	if _, err := client.Submit(ctx, sp); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitStart(t, g)
+	sp.Workload.Params.Seed = 2
+	if _, err := client.Submit(ctx, sp); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	sp.Workload.Params.Seed = 3
+	_, err := client.Submit(ctx, sp)
+	var ae *apiv1.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %v, want 429 APIError", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Errorf("429 carried no Retry-After hint: %+v", ae)
+	}
+	g.gate <- struct{}{}
+	g.gate <- struct{}{}
+}
+
+func TestHTTPCancelAndNotFound(t *testing.T) {
+	client, s := newHTTPServer(t)
+	g := newGateRunner()
+	s.runner = g
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	info, err := client.Submit(ctx, nwSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitStart(t, g)
+	if err := client.Cancel(ctx, info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := client.Wait(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != apiv1.JobCanceled {
+		t.Errorf("state after DELETE: %s, want canceled", final.State)
+	}
+	if _, err := client.Job(ctx, "j999999"); !errors.Is(err, apiv1.ErrNotFound) {
+		t.Errorf("unknown job: %v, want ErrNotFound", err)
+	}
+	if _, _, err := client.Result(ctx, info.ID); err == nil {
+		t.Error("canceled job served a result over HTTP")
+	}
+}
+
+func TestHTTPHealthQueueMetrics(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" || h.APIVersion != apiv1.Version || h.Workers != 1 {
+		t.Errorf("health %+v", h)
+	}
+	q, err := client.Queue(ctx)
+	if err != nil {
+		t.Fatalf("Queue: %v", err)
+	}
+	if q.Workers != 1 || q.Queued != 0 {
+		t.Errorf("queue %+v, want idle single worker", q)
+	}
+	resp, err := http.Get(client.BaseURL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRejectsBadSpec(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	resp, err := http.Post(client.BaseURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"api_version":"v1","workload":{"name":"nw"},"design":{"preset":"vc"},"surprise":1}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-field spec got %d, want 400", resp.StatusCode)
+	}
+}

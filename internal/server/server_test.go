@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	apiv1 "vcache/api/v1"
+	"vcache/internal/core"
+	"vcache/internal/workloads"
+)
+
+// gateRunner is a fake runner whose runs block until released (or their
+// ctx fires), so the tests control exactly when the single worker frees
+// up. It records start order and call count.
+type gateRunner struct {
+	started chan string // "workload/design@seed" per run start
+	gate    chan struct{}
+
+	mu    sync.Mutex
+	calls int
+}
+
+func newGateRunner() *gateRunner {
+	return &gateRunner{started: make(chan string, 64), gate: make(chan struct{}, 64)}
+}
+
+func (g *gateRunner) run(ctx context.Context, wl string, p workloads.Params, cfg core.Config, progress func(core.Progress)) (core.Results, []byte, error) {
+	g.mu.Lock()
+	g.calls++
+	g.mu.Unlock()
+	g.started <- fmt.Sprintf("%s@%d", wl, p.Seed)
+	if progress != nil {
+		progress(core.Progress{Cycle: 1, Events: 1})
+	}
+	select {
+	case <-g.gate:
+		return core.Results{Workload: wl, Design: cfg.Name, Cycles: 1000 + p.Seed}, []byte(`{"cycle":1,"metrics":{}}`), nil
+	case <-ctx.Done():
+		return core.Results{}, nil, ctx.Err()
+	}
+}
+
+func (g *gateRunner) callCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls
+}
+
+// newTestServer builds a 1-worker server with the gate runner injected
+// and no artifact cache (every distinct spec simulates).
+func newTestServer(t *testing.T, queueCap int) (*Server, *gateRunner) {
+	t.Helper()
+	g := newGateRunner()
+	s := New(Options{Workers: 1, QueueCap: queueCap})
+	s.runner = g
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return s, g
+}
+
+// spec builds a valid job spec; seed differentiates fingerprints.
+func spec(seed uint64, priority int) apiv1.JobSpec {
+	return apiv1.JobSpec{
+		APIVersion: apiv1.Version,
+		Workload:   apiv1.WorkloadSpec{Name: "nw", Params: workloads.Params{Scale: 1, Seed: seed}},
+		Design:     apiv1.DesignSpec{Preset: "ideal"},
+		Priority:   priority,
+	}
+}
+
+func waitStart(t *testing.T, g *gateRunner) string {
+	t.Helper()
+	select {
+	case s := <-g.started:
+		return s
+	case <-time.After(5 * time.Second):
+		t.Fatal("no run started within 5s")
+		return ""
+	}
+}
+
+func waitTerminal(t *testing.T, s *Server, id string) apiv1.JobInfo {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	info, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	return info
+}
+
+func TestQueueFullRejected(t *testing.T) {
+	s, g := newTestServer(t, 2)
+	a, err := s.Submit(spec(1, 0))
+	if err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	waitStart(t, g) // a occupies the only worker
+	for i := uint64(2); i <= 3; i++ {
+		if _, err := s.Submit(spec(i, 0)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Queue (cap 2) is full; the running job does not count against it.
+	if _, err := s.Submit(spec(4, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th submit: got %v, want ErrQueueFull", err)
+	}
+	// Rejection is not terminal for the service: draining one slot
+	// re-admits.
+	g.gate <- struct{}{}
+	waitTerminal(t, s, a.ID)
+	waitStart(t, g)
+	if _, err := s.Submit(spec(4, 0)); err != nil {
+		t.Fatalf("resubmit after drain: %v", err)
+	}
+}
+
+func TestPriorityDrainOrder(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	// Queue four more while the worker is pinned; they must drain by
+	// (priority desc, FIFO).
+	ids := []string{}
+	for _, sub := range []struct {
+		seed uint64
+		prio int
+	}{{2, 0}, {3, 5}, {4, 5}, {5, 1}} {
+		info, err := s.Submit(spec(sub.seed, sub.prio))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", sub.seed, err)
+		}
+		ids = append(ids, info.ID)
+	}
+	_ = ids
+	g.gate <- struct{}{}
+	waitTerminal(t, s, a.ID)
+	want := []string{"nw@3", "nw@4", "nw@5", "nw@2"}
+	for i, w := range want {
+		got := waitStart(t, g)
+		if got != w {
+			t.Fatalf("drain position %d: got %s, want %s", i, got, w)
+		}
+		g.gate <- struct{}{}
+	}
+}
+
+func TestCoalesceRunningDuplicate(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	b, err := s.Submit(spec(1, 0)) // identical: coalesces onto a's run
+	if err != nil {
+		t.Fatalf("submit dup: %v", err)
+	}
+	if !b.Coalesced {
+		t.Error("duplicate of a running job not marked coalesced")
+	}
+	if b.Fingerprint != a.Fingerprint {
+		t.Error("identical specs produced different fingerprints")
+	}
+	g.gate <- struct{}{}
+	ia, ib := waitTerminal(t, s, a.ID), waitTerminal(t, s, b.ID)
+	if ia.State != apiv1.JobDone || ib.State != apiv1.JobDone {
+		t.Fatalf("states: %s / %s, want done / done", ia.State, ib.State)
+	}
+	ra, _ := s.Result(a.ID)
+	rb, _ := s.Result(b.ID)
+	if string(ra) != string(rb) || len(ra) == 0 {
+		t.Error("coalesced jobs returned different result bytes")
+	}
+	if n := g.callCount(); n != 1 {
+		t.Errorf("runner ran %d times for 2 identical jobs, want 1", n)
+	}
+}
+
+func TestCoalesceQueuedDuplicateAndPriorityBoost(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	lo, _ := s.Submit(spec(2, 0))    // queued at priority 0
+	other, _ := s.Submit(spec(3, 1)) // queued at priority 1
+	dup, err := s.Submit(spec(2, 5)) // duplicate of lo at priority 5
+	if err != nil {
+		t.Fatalf("submit dup: %v", err)
+	}
+	if !dup.Coalesced {
+		t.Error("duplicate of a queued job not marked coalesced")
+	}
+	g.gate <- struct{}{}
+	// The hot duplicate dragged seed-2's shared run ahead of priority 1.
+	if got := waitStart(t, g); got != "nw@2" {
+		t.Fatalf("first drained run %s, want nw@2 (priority boosted by duplicate)", got)
+	}
+	g.gate <- struct{}{}
+	if got := waitStart(t, g); got != "nw@3" {
+		t.Fatalf("second drained run %s, want nw@3", got)
+	}
+	g.gate <- struct{}{}
+	for _, id := range []string{a.ID, lo.ID, other.ID, dup.ID} {
+		if info := waitTerminal(t, s, id); info.State != apiv1.JobDone {
+			t.Errorf("%s: state %s, want done", id, info.State)
+		}
+	}
+	if n := g.callCount(); n != 3 {
+		t.Errorf("runner ran %d times for 4 jobs (one pair identical), want 3", n)
+	}
+}
+
+func TestCancelRunningFreesWorker(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	b, _ := s.Submit(spec(2, 0)) // queued behind a
+	if err := s.Cancel(a.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	// The canceled run's ctx fires, the fake returns ctx.Err(), and the
+	// freed worker must pick b up — no gate release needed for a.
+	if got := waitStart(t, g); got != "nw@2" {
+		t.Fatalf("after cancel, started %s, want nw@2", got)
+	}
+	if info := waitTerminal(t, s, a.ID); info.State != apiv1.JobCanceled {
+		t.Errorf("canceled job state %s, want canceled", info.State)
+	}
+	g.gate <- struct{}{}
+	if info := waitTerminal(t, s, b.ID); info.State != apiv1.JobDone {
+		t.Errorf("successor state %s, want done", info.State)
+	}
+	if _, err := s.Result(a.ID); err == nil {
+		t.Error("canceled job served a result")
+	}
+}
+
+func TestCancelQueuedSkipsWithoutWorker(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	b, _ := s.Submit(spec(2, 0))
+	c, _ := s.Submit(spec(3, 0))
+	if err := s.Cancel(b.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if info := waitTerminal(t, s, b.ID); info.State != apiv1.JobCanceled {
+		t.Fatalf("queued cancel: state %s, want canceled", info.State)
+	}
+	g.gate <- struct{}{}
+	// b must be skipped entirely: the next run to start is c.
+	if got := waitStart(t, g); got != "nw@3" {
+		t.Fatalf("after queued cancel, started %s, want nw@3", got)
+	}
+	g.gate <- struct{}{}
+	waitTerminal(t, s, c.ID)
+	if n := g.callCount(); n != 2 {
+		t.Errorf("runner ran %d times, want 2 (canceled queued job skipped)", n)
+	}
+	_ = a
+}
+
+func TestCoalescedCancelOnlyStopsRunWhenAllGone(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	b, _ := s.Submit(spec(1, 0)) // coalesced onto a
+	if err := s.Cancel(a.ID); err != nil {
+		t.Fatalf("cancel a: %v", err)
+	}
+	if info := waitTerminal(t, s, a.ID); info.State != apiv1.JobCanceled {
+		t.Fatalf("a state %s, want canceled", info.State)
+	}
+	// b still wants the run: it must survive a's cancellation.
+	g.gate <- struct{}{}
+	if info := waitTerminal(t, s, b.ID); info.State != apiv1.JobDone {
+		t.Fatalf("b state %s, want done (run shared with canceled a)", info.State)
+	}
+}
+
+func TestSubscribeStreamsLifecycle(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	ch, cancel, err := s.Subscribe(a.ID)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer cancel()
+	waitStart(t, g)
+	g.gate <- struct{}{}
+	waitTerminal(t, s, a.ID)
+	var types []string
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				goto drained
+			}
+			types = append(types, ev.Type)
+			if ev.Type == "done" && ev.State != apiv1.JobDone {
+				t.Errorf("done event state %s, want done", ev.State)
+			}
+		case <-deadline:
+			t.Fatalf("stream never closed; saw %v", types)
+		}
+	}
+drained:
+	want := map[string]bool{"state": false, "progress": false, "metrics": false, "done": false}
+	for _, ty := range types {
+		want[ty] = true
+	}
+	for ty, seen := range want {
+		if !seen {
+			t.Errorf("event stream missing %q events: %v", ty, types)
+		}
+	}
+	// Late subscriber to a terminal job gets a closed replay, not a hang.
+	late, _, err := s.Subscribe(a.ID)
+	if err != nil {
+		t.Fatalf("late subscribe: %v", err)
+	}
+	n := 0
+	for range late {
+		n++
+	}
+	if n < 2 { // state + done at minimum
+		t.Errorf("late subscriber replay had %d events, want >= 2", n)
+	}
+}
+
+func TestQueueIntrospection(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	lo, _ := s.Submit(spec(2, 0))
+	hi, _ := s.Submit(spec(3, 7))
+	q := s.Queue()
+	if q.Workers != 1 || q.Busy != 1 || q.Queued != 2 || q.QueueCap != 16 {
+		t.Errorf("queue doc %+v, want 1 worker busy, 2 queued, cap 16", q)
+	}
+	if len(q.Jobs) != 3 {
+		t.Fatalf("queue lists %d jobs, want 3", len(q.Jobs))
+	}
+	if q.Jobs[0].ID != a.ID || q.Jobs[0].State != apiv1.JobRunning {
+		t.Errorf("first listed job %+v, want running %s", q.Jobs[0], a.ID)
+	}
+	if q.Jobs[1].ID != hi.ID || q.Jobs[2].ID != lo.ID {
+		t.Errorf("queued order %s,%s, want %s,%s (priority first)",
+			q.Jobs[1].ID, q.Jobs[2].ID, hi.ID, lo.ID)
+	}
+	g.gate <- struct{}{}
+	g.gate <- struct{}{}
+	g.gate <- struct{}{}
+	waitTerminal(t, s, lo.ID)
+	h := s.Health()
+	if h.Status != "ok" || h.JobsDone != 3 {
+		t.Errorf("health %+v, want ok with 3 done", h)
+	}
+	snap := s.MetricsSnapshot()
+	if v, ok := snap.Value("server.jobs.done"); !ok || v != 3 {
+		t.Errorf("server.jobs.done = %v (%v), want 3", v, ok)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s, _ := newTestServer(t, 16)
+	bad := spec(1, 0)
+	bad.Workload.Name = "nope"
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := s.Job("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job: %v, want ErrUnknownJob", err)
+	}
+	if err := s.Cancel("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("cancel unknown: %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	g := newGateRunner()
+	s := New(Options{Workers: 1, QueueCap: 16})
+	s.runner = g
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	b, _ := s.Submit(spec(2, 0)) // still queued at close
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		info, err := s.Job(id)
+		if err != nil || info.State != apiv1.JobCanceled {
+			t.Errorf("%s after close: %+v, %v; want canceled", id, info, err)
+		}
+	}
+	if _, err := s.Submit(spec(3, 0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}

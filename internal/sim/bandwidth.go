@@ -1,10 +1,12 @@
 package sim
 
-// Server models a bandwidth-limited resource that can begin at most
-// PerCycle operations in any single cycle. Requests beyond that capacity
-// are serialized into later cycles, which is exactly the queueing effect
-// the paper identifies at the shared IOMMU TLB port.
-type Server struct {
+// BandwidthServer models a bandwidth-limited resource that can begin at
+// most PerCycle operations in any single cycle. Requests beyond that
+// capacity are serialized into later cycles, which is exactly the queueing
+// effect the paper identifies at the shared IOMMU TLB port. (It has nothing
+// to do with serving network traffic; vcsimd's job server lives in
+// internal/server.)
+type BandwidthServer struct {
 	eng      *Engine
 	perCycle int
 	cycle    uint64 // cycle the tail of the queue occupies
@@ -18,16 +20,16 @@ type Server struct {
 	MaxDelay uint64
 }
 
-// NewServer returns a server that admits perCycle operations per cycle.
-// perCycle <= 0 means unlimited bandwidth (every request admitted
-// immediately).
-func NewServer(eng *Engine, perCycle int) *Server {
-	return &Server{eng: eng, perCycle: perCycle}
+// NewBandwidthServer returns a bandwidth server that admits perCycle
+// operations per cycle. perCycle <= 0 means unlimited bandwidth (every
+// request admitted immediately).
+func NewBandwidthServer(eng *Engine, perCycle int) *BandwidthServer {
+	return &BandwidthServer{eng: eng, perCycle: perCycle}
 }
 
 // Admit reserves the next available slot and returns the cycle at which the
 // operation begins (>= the current cycle). Queueing statistics are updated.
-func (s *Server) Admit() uint64 {
+func (s *BandwidthServer) Admit() uint64 {
 	now := s.eng.Now()
 	s.Admitted++
 	if s.perCycle <= 0 {
@@ -61,7 +63,7 @@ func (s *Server) Admit() uint64 {
 
 // Backlog returns how many cycles ahead of now the queue tail currently
 // sits (0 when the server is idle).
-func (s *Server) Backlog() uint64 {
+func (s *BandwidthServer) Backlog() uint64 {
 	now := s.eng.Now()
 	if s.cycle <= now {
 		return 0

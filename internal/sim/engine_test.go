@@ -122,7 +122,7 @@ func TestEngineMonotonicProperty(t *testing.T) {
 
 func TestServerSerialization(t *testing.T) {
 	e := New()
-	s := NewServer(e, 1)
+	s := NewBandwidthServer(e, 1)
 	// Three requests in the same cycle: slots 0, 1, 2.
 	slots := []uint64{s.Admit(), s.Admit(), s.Admit()}
 	for i, want := range []uint64{0, 1, 2} {
@@ -140,7 +140,7 @@ func TestServerSerialization(t *testing.T) {
 
 func TestServerMultiPortAndIdleCatchup(t *testing.T) {
 	e := New()
-	s := NewServer(e, 2)
+	s := NewBandwidthServer(e, 2)
 	if a, b, c := s.Admit(), s.Admit(), s.Admit(); a != 0 || b != 0 || c != 1 {
 		t.Fatalf("got slots %d,%d,%d; want 0,0,1", a, b, c)
 	}
@@ -155,7 +155,7 @@ func TestServerMultiPortAndIdleCatchup(t *testing.T) {
 
 func TestServerUnlimited(t *testing.T) {
 	e := New()
-	s := NewServer(e, 0)
+	s := NewBandwidthServer(e, 0)
 	for i := 0; i < 10; i++ {
 		if got := s.Admit(); got != 0 {
 			t.Fatalf("unlimited server delayed a request to %d", got)
@@ -173,7 +173,7 @@ func TestServerCapacityProperty(t *testing.T) {
 			k = 1
 		}
 		e := New()
-		s := NewServer(e, int(k))
+		s := NewBandwidthServer(e, int(k))
 		perCycle := make(map[uint64]int)
 		for i := 0; i < int(n); i++ {
 			perCycle[s.Admit()]++
@@ -192,7 +192,7 @@ func TestServerCapacityProperty(t *testing.T) {
 
 func TestServerBacklog(t *testing.T) {
 	e := New()
-	s := NewServer(e, 1)
+	s := NewBandwidthServer(e, 1)
 	for i := 0; i < 5; i++ {
 		s.Admit()
 	}

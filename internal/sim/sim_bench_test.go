@@ -32,7 +32,7 @@ func BenchmarkEventChain(b *testing.B) {
 
 func BenchmarkServerAdmit(b *testing.B) {
 	e := New()
-	s := NewServer(e, 1)
+	s := NewBandwidthServer(e, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Admit()

@@ -27,16 +27,19 @@ import (
 // replayed silently.
 const GeneratorVersion = 1
 
-// Params controls trace generation.
+// Params controls trace generation. The json tags are the api/v1 wire
+// schema: a JobSpec carries Params verbatim, and the api/v1 round-trip
+// guard proves every field survives marshal/unmarshal, so fields added
+// here join the wire automatically.
 type Params struct {
 	// Scale multiplies the input sizes (1 = the default laptop-scale
 	// inputs; the paper's inputs are larger but produce the same shapes).
-	Scale int
+	Scale int `json:"scale,omitempty"`
 	// NumCUs and WarpsPerCU shape the warp-context pool.
-	NumCUs     int
-	WarpsPerCU int
+	NumCUs     int `json:"num_cus,omitempty"`
+	WarpsPerCU int `json:"warps_per_cu,omitempty"`
 	// Seed drives all synthetic-input randomness.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // DefaultParams matches the Table 1 GPU (16 CUs) with 8 warp contexts per

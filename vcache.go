@@ -45,12 +45,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"time"
 
+	apiv1 "vcache/api/v1"
 	"vcache/internal/artifact"
 	"vcache/internal/core"
 	"vcache/internal/experiments"
 	"vcache/internal/memory"
 	"vcache/internal/obs"
+	"vcache/internal/server"
 	"vcache/internal/trace"
 	"vcache/internal/workloads"
 )
@@ -268,3 +272,72 @@ func DefaultArtifactCacheDir() string { return artifact.DefaultDir() }
 
 // ExperimentIDs lists the regenerable tables and figures in paper order.
 func ExperimentIDs() []string { return experiments.Figures() }
+
+// Serving layer (cmd/vcsimd's engine and the api/v1 wire schema). A
+// JobServer runs simulations as a service: a bounded priority-scheduled
+// worker pool in which identical in-flight submissions coalesce onto one
+// run, results are served from a shared ArtifactCache in a canonical
+// byte-stable JSON encoding, and progress streams over SSE.
+type (
+	// JobSpec is one api/v1 job submission (workload + design + priority).
+	JobSpec = apiv1.JobSpec
+	// WorkloadSpec names a catalog workload and its generation parameters.
+	WorkloadSpec = apiv1.WorkloadSpec
+	// DesignSpec selects an MMU design by preset name or inline Config.
+	DesignSpec = apiv1.DesignSpec
+	// JobInfo is a job's status document.
+	JobInfo = apiv1.JobInfo
+	// JobState is a job's lifecycle phase (queued/running/done/failed/
+	// canceled).
+	JobState = apiv1.JobState
+	// JobEvent is one record on a job's SSE event stream.
+	JobEvent = apiv1.Event
+	// JobQueueInfo is the queue introspection document.
+	JobQueueInfo = apiv1.QueueInfo
+	// ServiceHealth is the daemon health document.
+	ServiceHealth = apiv1.Health
+	// JobClient talks to a vcsimd instance over HTTP.
+	JobClient = apiv1.Client
+	// JobServer is the simulation service's job engine.
+	JobServer = server.Server
+	// JobServerOptions configures a JobServer.
+	JobServerOptions = server.Options
+)
+
+// JobAPIVersion is the wire-schema version the serving layer speaks.
+const JobAPIVersion = apiv1.Version
+
+// DecodeJobSpec strictly parses and validates one api/v1 job spec;
+// unknown fields, version mismatches and invalid configurations are all
+// errors (never panics), making it safe for network input.
+var DecodeJobSpec = apiv1.DecodeJobSpec
+
+// NewJobServer builds and starts a simulation job engine; serve its
+// Handler over HTTP (or use Serve), and stop it with Close.
+func NewJobServer(opts JobServerOptions) *JobServer { return server.New(opts) }
+
+// NewJobClient returns a client for the vcsimd daemon at baseURL.
+func NewJobClient(baseURL string) *JobClient { return apiv1.NewClient(baseURL) }
+
+// Serve runs a simulation daemon on addr until ctx is canceled, then
+// drains gracefully: in-flight runs observe cancellation and queued jobs
+// are retired as canceled. It is the library form of cmd/vcsimd.
+func Serve(ctx context.Context, addr string, opts JobServerOptions) error {
+	engine := server.New(opts)
+	httpSrv := &http.Server{Addr: addr, Handler: engine.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	shutdown := func() error {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+		return engine.Close(sctx)
+	}
+	select {
+	case err := <-errc:
+		_ = shutdown()
+		return err
+	case <-ctx.Done():
+		return shutdown()
+	}
+}
