@@ -62,7 +62,20 @@ type Options struct {
 	// completed run or cache hit, exactly like the suite's progress feed.
 	// Calls are serialized.
 	Progress experiments.ProgressFunc
+	// RetainDone bounds how many terminal job records the server keeps
+	// for later status/result fetches. Each done job pins its canonical
+	// result and metrics bytes, so without a bound a long-lived daemon
+	// grows memory with every job ever run. Beyond the bound the
+	// oldest-finished records are evicted (counted in jobs.evicted) and
+	// their IDs answer ErrUnknownJob / 404 — results remain fetchable by
+	// resubmitting the spec, which hits the artifact cache. Values < 1
+	// use the default 4096.
+	RetainDone int
 }
+
+// defaultRetainDone is the terminal-job retention bound when Options
+// leaves RetainDone unset.
+const defaultRetainDone = 4096
 
 // ErrQueueFull rejects a submission when the queue is at capacity; the
 // HTTP layer maps it to 429 with a Retry-After hint.
@@ -138,7 +151,6 @@ type run struct {
 	seq      uint64 // FIFO tiebreak within a priority
 	heapIdx  int    // position in the queue heap, -1 once popped/removed
 	running  bool
-	canceled bool
 
 	jobs   []*job // attached jobs, first is the originator
 	active int    // attached jobs not yet individually canceled
@@ -191,17 +203,19 @@ type counters struct {
 	Done      uint64
 	Failed    uint64
 	Canceled  uint64
+	Evicted   uint64
 }
 
 // Server is the job engine. Construct with New; all methods are safe for
 // concurrent use.
 type Server struct {
-	workers  int
-	queueCap int
-	cache    *artifact.Cache
-	runner   runner
-	progress experiments.ProgressFunc
-	start    time.Time
+	workers    int
+	queueCap   int
+	retainDone int
+	cache      *artifact.Cache
+	runner     runner
+	progress   experiments.ProgressFunc
+	start      time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -215,10 +229,13 @@ type Server struct {
 	jobs   map[string]*job
 	runs   map[artifact.Fingerprint]*run // queued + running
 	queue  runHeap
-	busy   int
-	seq    uint64
-	idSeq  uint64
-	ctr    counters
+	// doneOrder lists retained terminal job IDs oldest-first; once it
+	// exceeds retainDone the head is evicted from jobs.
+	doneOrder []string
+	busy      int
+	seq       uint64
+	idSeq     uint64
+	ctr       counters
 
 	progressMu sync.Mutex
 }
@@ -232,15 +249,19 @@ func New(opts Options) *Server {
 	if opts.QueueCap < 1 {
 		opts.QueueCap = 64
 	}
+	if opts.RetainDone < 1 {
+		opts.RetainDone = defaultRetainDone
+	}
 	s := &Server{
-		workers:  opts.Workers,
-		queueCap: opts.QueueCap,
-		cache:    opts.Cache,
-		runner:   simRunner{cache: opts.Cache, intra: opts.Intra},
-		progress: opts.Progress,
-		start:    time.Now(),
-		jobs:     make(map[string]*job),
-		runs:     make(map[artifact.Fingerprint]*run),
+		workers:    opts.Workers,
+		queueCap:   opts.QueueCap,
+		retainDone: opts.RetainDone,
+		cache:      opts.Cache,
+		runner:     simRunner{cache: opts.Cache, intra: opts.Intra},
+		progress:   opts.Progress,
+		start:      time.Now(),
+		jobs:       make(map[string]*job),
+		runs:       make(map[artifact.Fingerprint]*run),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -271,6 +292,8 @@ func (s *Server) buildRegistry() {
 	sc.Gauge("jobs.done", read(func() float64 { return float64(s.ctr.Done) }))
 	sc.Gauge("jobs.failed", read(func() float64 { return float64(s.ctr.Failed) }))
 	sc.Gauge("jobs.canceled", read(func() float64 { return float64(s.ctr.Canceled) }))
+	sc.Gauge("jobs.evicted", read(func() float64 { return float64(s.ctr.Evicted) }))
+	sc.Gauge("jobs.retained", read(func() float64 { return float64(len(s.doneOrder)) }))
 	sc.Gauge("queue.depth", read(func() float64 { return float64(len(s.queue)) }))
 	sc.Gauge("queue.cap", func() float64 { return float64(s.queueCap) })
 	sc.Gauge("workers.busy", read(func() float64 { return float64(s.busy) }))
@@ -349,8 +372,11 @@ func (s *Server) Submit(spec apiv1.JobSpec) (apiv1.JobInfo, error) {
 	}
 	s.jobs[j.id] = j
 
-	if r, ok := s.runs[key]; ok {
+	if r, ok := s.runs[key]; ok && r.ctx.Err() == nil {
 		// Identical job already queued or running: attach (singleflight).
+		// The ctx guard is defensive — Cancel unindexes a doomed run in
+		// the same critical section that cancels it, so a resubmission
+		// must never attach to a run that can only finish canceled.
 		j.coalesced = true
 		j.run = r
 		r.jobs = append(r.jobs, j)
@@ -410,14 +436,6 @@ func (s *Server) worker() {
 			return
 		}
 		r := heap.Pop(&s.queue).(*run)
-		if r.canceled {
-			// Every attached job canceled while queued; retire without
-			// occupying a worker slot.
-			delete(s.runs, r.key)
-			s.finalizeLocked(r, apiv1.JobCanceled, core.Results{}, nil, context.Canceled)
-			s.mu.Unlock()
-			continue
-		}
 		r.running = true
 		s.busy++
 		for _, j := range r.jobs {
@@ -435,7 +453,11 @@ func (s *Server) worker() {
 
 		s.mu.Lock()
 		s.busy--
-		delete(s.runs, r.key)
+		// A canceled run already left the index, and its fingerprint may
+		// now map to a fresh resubmission — only unindex our own run.
+		if cur, ok := s.runs[r.key]; ok && cur == r {
+			delete(s.runs, r.key)
+		}
 		switch {
 		case err == nil:
 			if s.cache != nil {
@@ -510,11 +532,26 @@ func (s *Server) completeJobLocked(j *job, state apiv1.JobState, res core.Result
 		s.closeSubLocked(j, sub)
 	}
 	close(j.done)
+	// Bounded retention: remember this terminal record, evict the
+	// oldest-finished beyond the cap so a long-lived daemon's jobs map
+	// (and the result/metrics bytes done jobs pin) stays bounded.
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.retainDone {
+		old := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		if oldJob, ok := s.jobs[old]; ok && oldJob.state.Terminal() {
+			delete(s.jobs, old)
+			s.ctr.Evicted++
+		}
+	}
 }
 
 // Cancel cancels one job. The shared run is only canceled once every
-// attached job has been; a queued run whose jobs are all gone is skipped
-// at pop time without consuming a worker.
+// attached job has been; a fully-canceled run is removed from the
+// fingerprint index immediately, so an identical resubmission starts a
+// fresh run instead of attaching to the doomed one. A queued run whose
+// jobs are all gone also leaves the heap right away, freeing its queue
+// slot without ever consuming a worker.
 func (s *Server) Cancel(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -535,8 +572,9 @@ func (s *Server) Cancel(id string) error {
 		return nil // other submissions still want this run
 	}
 	r.cancel()
+	delete(s.runs, r.key)
 	if !r.running {
-		r.canceled = true // worker retires it at pop
+		heap.Remove(&s.queue, r.heapIdx)
 	}
 	return nil
 }
@@ -584,7 +622,12 @@ func (s *Server) Wait(ctx context.Context, id string) (apiv1.JobInfo, error) {
 	case <-ctx.Done():
 		return apiv1.JobInfo{}, ctx.Err()
 	}
-	return s.Job(id)
+	// Render from the held pointer, not a fresh lookup: the record may
+	// already have been evicted from the retention window, but a waiter
+	// still deserves the final status it waited for.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(j), nil
 }
 
 // Queue returns the queue introspection document: running jobs first,

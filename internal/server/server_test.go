@@ -265,6 +265,130 @@ func TestCancelQueuedSkipsWithoutWorker(t *testing.T) {
 	_ = a
 }
 
+func TestResubmitAfterQueuedCancelRunsFresh(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g) // worker pinned on a
+	b, _ := s.Submit(spec(2, 0))
+	if err := s.Cancel(b.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	waitTerminal(t, s, b.ID)
+	// The canceled run must be gone from the fingerprint index: an
+	// identical resubmission starts a fresh run instead of attaching to
+	// the doomed one and being spuriously finalized as canceled.
+	b2, err := s.Submit(spec(2, 0))
+	if err != nil {
+		t.Fatalf("resubmit after cancel: %v", err)
+	}
+	if b2.Coalesced {
+		t.Fatal("resubmission coalesced onto a canceled run")
+	}
+	g.gate <- struct{}{}
+	waitTerminal(t, s, a.ID)
+	if got := waitStart(t, g); got != "nw@2" {
+		t.Fatalf("resubmitted run started as %s, want nw@2", got)
+	}
+	g.gate <- struct{}{}
+	if info := waitTerminal(t, s, b2.ID); info.State != apiv1.JobDone {
+		t.Fatalf("resubmitted job state %s, want done", info.State)
+	}
+	if n := g.callCount(); n != 2 {
+		t.Errorf("runner ran %d times, want 2 (a + resubmission; canceled b never ran)", n)
+	}
+}
+
+func TestResubmitAfterRunningCancelRunsFresh(t *testing.T) {
+	s, g := newTestServer(t, 16)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g)
+	if err := s.Cancel(a.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if info := waitTerminal(t, s, a.ID); info.State != apiv1.JobCanceled {
+		t.Fatalf("a state %s, want canceled", info.State)
+	}
+	// The doomed run's ctx is fired; the same spec must get a new run.
+	a2, err := s.Submit(spec(1, 0))
+	if err != nil {
+		t.Fatalf("resubmit after cancel: %v", err)
+	}
+	if a2.Coalesced {
+		t.Fatal("resubmission coalesced onto a canceled running run")
+	}
+	waitStart(t, g)
+	g.gate <- struct{}{}
+	if info := waitTerminal(t, s, a2.ID); info.State != apiv1.JobDone {
+		t.Fatalf("resubmitted job state %s, want done", info.State)
+	}
+}
+
+func TestCancelQueuedFreesQueueSlot(t *testing.T) {
+	s, g := newTestServer(t, 1)
+	a, _ := s.Submit(spec(1, 0))
+	waitStart(t, g) // worker pinned; queue cap 1
+	b, _ := s.Submit(spec(2, 0))
+	if _, err := s.Submit(spec(3, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: got %v, want ErrQueueFull", err)
+	}
+	// Canceling the queued run must free its slot immediately, without
+	// waiting for a worker to pop and skip it.
+	if err := s.Cancel(b.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if _, err := s.Submit(spec(3, 0)); err != nil {
+		t.Fatalf("submit after queued cancel: %v", err)
+	}
+	g.gate <- struct{}{}
+	waitTerminal(t, s, a.ID)
+	if got := waitStart(t, g); got != "nw@3" {
+		t.Fatalf("next run %s, want nw@3 (canceled b left the queue)", got)
+	}
+	g.gate <- struct{}{}
+}
+
+func TestTerminalJobRetentionBounded(t *testing.T) {
+	g := newGateRunner()
+	s := New(Options{Workers: 1, QueueCap: 16, RetainDone: 2})
+	s.runner = g
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		info, err := s.Submit(spec(seed, 0))
+		if err != nil {
+			t.Fatalf("submit %d: %v", seed, err)
+		}
+		ids = append(ids, info.ID)
+		waitStart(t, g)
+		g.gate <- struct{}{}
+		waitTerminal(t, s, info.ID)
+	}
+	// Retention cap 2: the oldest-finished record is evicted, newer ones
+	// stay fetchable.
+	if _, err := s.Job(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("oldest terminal job still retained: %v", err)
+	}
+	if _, err := s.Result(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("evicted job result: %v, want ErrUnknownJob", err)
+	}
+	for _, id := range ids[1:] {
+		if info, err := s.Job(id); err != nil || info.State != apiv1.JobDone {
+			t.Errorf("retained job %s: %+v, %v; want done", id, info, err)
+		}
+	}
+	snap := s.MetricsSnapshot()
+	if v, ok := snap.Value("server.jobs.evicted"); !ok || v != 1 {
+		t.Errorf("server.jobs.evicted = %v (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Value("server.jobs.retained"); !ok || v != 2 {
+		t.Errorf("server.jobs.retained = %v (%v), want 2", v, ok)
+	}
+}
+
 func TestCoalescedCancelOnlyStopsRunWhenAllGone(t *testing.T) {
 	s, g := newTestServer(t, 16)
 	a, _ := s.Submit(spec(1, 0))
