@@ -300,6 +300,28 @@ type QueueInfo struct {
 	Jobs []JobInfo `json:"jobs"`
 }
 
+// ResultsIndex is the cached-results index document (GET /v1/results):
+// the fingerprints the daemon's shared artifact cache currently holds a
+// result for. A fingerprint here matches JobInfo.Fingerprint, so a client
+// can tell before submitting whether a (workload, params, design) point
+// is already answered. The listing paginates by fingerprint order:
+// Total counts every cached result, Results holds the page at Offset.
+type ResultsIndex struct {
+	APIVersion string        `json:"api_version"`
+	Total      int           `json:"total"`
+	Offset     int           `json:"offset"`
+	Results    []ResultEntry `json:"results"`
+}
+
+// ResultEntry is one cached result in a ResultsIndex.
+type ResultEntry struct {
+	// Fingerprint is the result's content address (hex), comparable to
+	// JobInfo.Fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Bytes is the canonical result document's size.
+	Bytes int64 `json:"bytes"`
+}
+
 // Health is the health-check document.
 type Health struct {
 	Status        string  `json:"status"`

@@ -189,6 +189,32 @@ func (c *Client) Queue(ctx context.Context) (QueueInfo, error) {
 	return q, nil
 }
 
+// Results fetches one page of the daemon's cached-results index. A
+// non-positive limit takes the server default; offset past the end
+// returns an empty page with Total still set.
+func (c *Client) Results(ctx context.Context, offset, limit int) (ResultsIndex, error) {
+	u := c.url("/v1/results")
+	q := make([]string, 0, 2)
+	if offset > 0 {
+		q = append(q, "offset="+strconv.Itoa(offset))
+	}
+	if limit > 0 {
+		q = append(q, "limit="+strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		u += "?" + strings.Join(q, "&")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return ResultsIndex{}, err
+	}
+	var idx ResultsIndex
+	if err := c.do(req, &idx); err != nil {
+		return ResultsIndex{}, err
+	}
+	return idx, nil
+}
+
 // Health fetches the health document.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/health"), nil)

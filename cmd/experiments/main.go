@@ -55,8 +55,11 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results are identical either way)")
 	intraParallel := flag.Int("intra-parallel", 0, "partitioned-engine worker threads inside each simulation (0 = auto split with -parallel; results are byte-identical at any value)")
 	batched := flag.Bool("batched-translation", false, "warp-level batched translation front-end for every run (cached separately from legacy results; no-op for designs without per-CU TLBs)")
+	eagerFlush := flag.Bool("eager-flush", false, "per-entry eager bulk invalidation instead of epoch-based lazy (results are byte-identical; for cross-checking and flush-cost studies)")
+	tenantsFlag := flag.String("tenants", "", "comma-separated tenant counts for the churn figure (default 2,8,24)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	csvOut := flag.String("csv", "", "also dump every simulated run's metrics to this CSV file")
+	churnCSVOut := flag.String("churn-csv", "", "dump the tenant-churn grid (-fig churn) to this CSV file")
 	metricsOut := flag.String("metrics", "", "dump every run's end-of-run metrics registry to this JSONL file")
 	eventsOut := flag.String("events", "", "write a Chrome-trace event file covering every run (one process per run)")
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $VCACHE_DIR or out/cache)")
@@ -86,6 +89,17 @@ func main() {
 	suite.Workers = *parallel
 	suite.IntraWorkers = *intraParallel
 	suite.BatchedTranslation = *batched
+	suite.EagerFlush = *eagerFlush
+	if *tenantsFlag != "" {
+		for _, s := range strings.Split(*tenantsFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -tenants value %q\n", s)
+				os.Exit(1)
+			}
+			suite.ChurnTenants = append(suite.ChurnTenants, n)
+		}
+	}
 	suite.StreamTraces = *stream
 	suite.ChunkBudget = *chunkBudget
 	if !*noCache {
@@ -159,6 +173,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", suite.RunCount(), *csvOut)
+	}
+
+	if *churnCSVOut != "" {
+		points, _ := suite.Churn()
+		if err := os.WriteFile(*churnCSVOut, []byte(experiments.WriteChurnCSV(points)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d churn points to %s\n", len(points), *churnCSVOut)
 	}
 
 	if *metricsOut != "" {

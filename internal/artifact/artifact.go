@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 
 	"vcache/internal/core"
@@ -347,6 +348,59 @@ func (c *Cache) HasResult(key Fingerprint) bool {
 	}
 	st, err := os.Stat(c.path("result", key))
 	return err == nil && st.Mode().IsRegular() && st.Size() >= envHeader
+}
+
+// ResultEntry describes one cached result in a ListResults index.
+type ResultEntry struct {
+	// Fingerprint is the result key's hex digest (the entry's file name).
+	Fingerprint string
+	// Bytes is the payload size: the canonical encoded results, without
+	// the envelope header.
+	Bytes int64
+}
+
+// ListResults indexes the cached results: one entry per well-formed result
+// file, sorted by fingerprint. Entries are identified by file name alone —
+// in-flight temp files, dotfiles and foreign names are skipped — so the
+// index never reads payloads; a listed entry may still fail envelope
+// validation on a later GetResults, which counts as an ordinary miss.
+func (c *Cache) ListResults() []ResultEntry {
+	if c == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(filepath.Join(c.dir, "result"))
+	if err != nil {
+		return nil
+	}
+	out := make([]ResultEntry, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if !validFingerprintName(name) {
+			continue // temp file, dotfile, or foreign junk
+		}
+		st, err := e.Info()
+		if err != nil || !st.Mode().IsRegular() || st.Size() < envHeader {
+			continue
+		}
+		out = append(out, ResultEntry{Fingerprint: name, Bytes: st.Size() - envHeader})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// validFingerprintName reports whether name is a full lowercase-hex
+// fingerprint digest (every real entry's file name).
+func validFingerprintName(name string) bool {
+	if len(name) != 2*len(Fingerprint{}) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,16 @@
 // permission and ASID needed for virtual caching, and page-granularity
 // invalidation supports FBT-entry eviction and TLB shootdown. Addresses are
 // opaque uint64s; the owner decides whether they are virtual or physical.
+//
+// Bulk invalidation (InvalidateAll / InvalidateASID) is epoch-based by
+// default: a generation bump retires every targeted line at once and dead
+// lines are reclaimed when their slot is next touched. Residency and dirty
+// counts are maintained incrementally so Resident() and the flush
+// accounting stay exact without scans. The eager scan paths survive behind
+// the Eager flag; only eager bulk invalidation fires OnEvict per line, so
+// owners that must observe individual lines during a bulk flush (lifetime
+// tracking, per-line writeback modeling) set Eager and owners on the lazy
+// path account for writebacks in aggregate.
 package cache
 
 import (
@@ -69,6 +79,7 @@ type Line struct {
 	lru        uint64
 	insertedAt uint64
 	lastAccess uint64
+	born       uint32 // generation at fill (epoch invalidation)
 }
 
 // ActiveLifetime returns lastAccess - insertedAt, the paper's definition of
@@ -111,6 +122,13 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits()) / float64(a)
 }
 
+// asidCnt tracks one address space's live lines so lazy InvalidateASID can
+// account for them without a scan.
+type asidCnt struct {
+	n     int // live lines
+	dirty int // of which dirty
+}
+
 // Cache is a set-associative cache.
 type Cache struct {
 	cfg       Config
@@ -120,11 +138,28 @@ type Cache struct {
 	tick      uint64
 	stats     Stats
 
+	// Epoch invalidation state: a line is live iff born >= deadAll and
+	// >= its address space's deadASID mark. normalize() rewinds the
+	// generations before the counter can wrap.
+	seq      uint32
+	deadAll  uint32
+	deadASID map[memory.ASID]uint32
+	resident int // live lines (maintained, so Resident is O(1))
+	dirty    int // live dirty lines
+	perASID  map[memory.ASID]*asidCnt
+
+	// Eager restores scan-based bulk invalidation: InvalidateAll and
+	// InvalidateASID walk every line and fire OnEvict per line. Lazy bulk
+	// invalidation (the default) updates the same counters but never fires
+	// OnEvict — owners account for writebacks in aggregate via DirtyLines /
+	// ASIDResident before flushing.
+	Eager bool
+
 	// Clock, if set, supplies the current cycle for lifetime tracking.
 	Clock func() uint64
 	// OnEvict, if set, observes every line leaving the cache (capacity
 	// eviction or invalidation). Dirty lines need writing back by the
-	// owner.
+	// owner. Lazy bulk invalidations (Eager == false) skip it.
 	OnEvict func(l Line)
 }
 
@@ -176,11 +211,101 @@ func (c *Cache) setIndex(addr uint64) int {
 	return int((addr >> c.lineShift) % uint64(len(c.sets)))
 }
 
+// live reports whether a valid line survived every bulk invalidation since
+// it was filled. Callers check Valid themselves.
+func (c *Cache) live(l *Line) bool {
+	if l.born < c.deadAll {
+		return false
+	}
+	if len(c.deadASID) != 0 {
+		if d, ok := c.deadASID[l.ASID]; ok && l.born < d {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) incCount(asid memory.ASID, dirty bool) {
+	c.resident++
+	if c.perASID == nil {
+		c.perASID = make(map[memory.ASID]*asidCnt)
+	}
+	ac := c.perASID[asid]
+	if ac == nil {
+		ac = &asidCnt{}
+		c.perASID[asid] = ac
+	}
+	ac.n++
+	if dirty {
+		c.dirty++
+		ac.dirty++
+	}
+}
+
+func (c *Cache) decCount(asid memory.ASID, dirty bool) {
+	c.resident--
+	ac := c.perASID[asid]
+	ac.n--
+	if dirty {
+		c.dirty--
+		ac.dirty--
+	}
+	if ac.n == 0 {
+		delete(c.perASID, asid)
+	}
+}
+
+// markDirty records a clean-to-dirty transition on a live line.
+func (c *Cache) markDirty(l *Line) {
+	if l.Dirty {
+		return
+	}
+	l.Dirty = true
+	c.dirty++
+	c.perASID[l.ASID].dirty++
+}
+
+// bumpGen advances the generation counter, normalizing first when the next
+// increment would wrap.
+func (c *Cache) bumpGen() uint32 {
+	if c.seq == ^uint32(0) {
+		c.normalize()
+	}
+	c.seq++
+	return c.seq
+}
+
+// normalize physically drops dead lines and rewinds every generation to
+// zero; one full walk per 2^32 bulk invalidations.
+func (c *Cache) normalize() {
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].Valid {
+				continue
+			}
+			if !c.live(&set[i]) {
+				set[i].Valid = false
+			} else {
+				set[i].born = 0
+			}
+		}
+	}
+	c.seq, c.deadAll = 0, 0
+	c.deadASID = nil
+}
+
 func (c *Cache) find(addr uint64) *Line {
 	la := c.LineAddr(addr)
 	set := c.sets[c.setIndex(addr)]
 	for i := range set {
 		if set[i].Valid && set[i].Addr == la {
+			if !c.live(&set[i]) {
+				// Reclaim the dead slot on touch; a live line with the same
+				// address may still follow (filled after the bulk
+				// invalidation into another way).
+				set[i].Valid = false
+				continue
+			}
 			return &set[i]
 		}
 	}
@@ -200,7 +325,7 @@ func (c *Cache) Access(addr uint64, write bool) (Line, bool) {
 		if write {
 			c.stats.WriteHits++
 			if c.cfg.Policy == WriteBack {
-				l.Dirty = true
+				c.markDirty(l)
 			}
 		} else {
 			c.stats.ReadHits++
@@ -235,31 +360,34 @@ func (c *Cache) Fill(addr uint64, perm memory.Perm, asid memory.ASID, dirty bool
 	c.stats.Fills++
 	la := c.LineAddr(addr)
 	set := c.sets[c.setIndex(addr)]
-	victim := 0
+	victim, vfree := 0, false
 	for i := range set {
-		if set[i].Valid && set[i].Addr == la {
+		li := &set[i]
+		free := !li.Valid || !c.live(li)
+		if !free && li.Addr == la {
 			// Refresh in place (e.g. racing fills).
-			set[i].lru = c.tick
-			set[i].lastAccess = c.now()
-			set[i].Perm = perm
+			li.lru = c.tick
+			li.lastAccess = c.now()
+			li.Perm = perm
 			if dirty {
-				set[i].Dirty = true
+				c.markDirty(li)
 			}
 			return Line{}, false
 		}
-		if !set[i].Valid {
-			victim = i
-		} else if set[victim].Valid && set[i].lru < set[victim].lru {
+		if free {
+			victim, vfree = i, true
+		} else if !vfree && li.lru < set[victim].lru {
 			victim = i
 		}
 	}
-	if set[victim].Valid {
+	if set[victim].Valid && c.live(&set[victim]) {
 		evicted = set[victim]
 		evictedValid = true
 		c.evict(&set[victim])
 	}
 	now := c.now()
-	set[victim] = Line{Addr: la, Valid: true, Dirty: dirty, Perm: perm, ASID: asid, lru: c.tick, insertedAt: now, lastAccess: now}
+	set[victim] = Line{Addr: la, Valid: true, Dirty: dirty, Perm: perm, ASID: asid, lru: c.tick, insertedAt: now, lastAccess: now, born: c.seq}
+	c.incCount(asid, dirty)
 	return evicted, evictedValid
 }
 
@@ -272,6 +400,7 @@ func (c *Cache) evict(l *Line) {
 		c.OnEvict(*l)
 	}
 	l.Valid = false
+	c.decCount(l.ASID, l.Dirty)
 }
 
 // InvalidateLine removes addr's line if resident, reporting (wasDirty,
@@ -307,18 +436,72 @@ func (c *Cache) InvalidatePage(pageAddr uint64) int {
 }
 
 // InvalidateAll flushes the cache, returning the number of lines dropped.
+// Lazy unless Eager is set: one generation bump retires every line, with
+// stats (Invalidated, Evictions, Writebacks) accounted in aggregate and no
+// per-line OnEvict.
 func (c *Cache) InvalidateAll() int {
-	n := 0
-	for si := range c.sets {
-		set := c.sets[si]
-		for i := range set {
-			if set[i].Valid {
-				c.stats.Invalidated++
-				c.evict(&set[i])
-				n++
+	n := c.resident
+	if c.Eager {
+		for si := range c.sets {
+			set := c.sets[si]
+			for i := range set {
+				if set[i].Valid && c.live(&set[i]) {
+					c.stats.Invalidated++
+					c.evict(&set[i])
+				}
 			}
 		}
+		return n
 	}
+	if n == 0 {
+		return 0
+	}
+	c.stats.Invalidated += uint64(n)
+	c.stats.Evictions += uint64(n)
+	c.stats.Writebacks += uint64(c.dirty)
+	c.deadAll = c.bumpGen()
+	c.deadASID = nil
+	c.resident = 0
+	c.dirty = 0
+	c.perASID = nil
+	return n
+}
+
+// InvalidateASID removes every line belonging to one address space (ASID
+// rollover on a virtually-tagged cache), returning the number dropped.
+// Lazy unless Eager is set.
+func (c *Cache) InvalidateASID(asid memory.ASID) int {
+	ac := c.perASID[asid]
+	n := 0
+	if ac != nil {
+		n = ac.n
+	}
+	if c.Eager {
+		for si := range c.sets {
+			set := c.sets[si]
+			for i := range set {
+				if set[i].Valid && set[i].ASID == asid && c.live(&set[i]) {
+					c.stats.Invalidated++
+					c.evict(&set[i])
+				}
+			}
+		}
+		return n
+	}
+	if n == 0 {
+		return 0
+	}
+	c.stats.Invalidated += uint64(n)
+	c.stats.Evictions += uint64(n)
+	c.stats.Writebacks += uint64(ac.dirty)
+	c.resident -= n
+	c.dirty -= ac.dirty
+	delete(c.perASID, asid)
+	g := c.bumpGen()
+	if c.deadASID == nil {
+		c.deadASID = make(map[memory.ASID]uint32)
+	}
+	c.deadASID[asid] = g
 	return n
 }
 
@@ -328,7 +511,7 @@ func (c *Cache) LinesInPage(pageAddr uint64) int {
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].Valid && set[i].Addr&^uint64(memory.PageSize-1) == base {
+			if set[i].Valid && set[i].Addr&^uint64(memory.PageSize-1) == base && c.live(&set[i]) {
 				n++
 			}
 		}
@@ -342,7 +525,7 @@ func (c *Cache) DistinctPages() int {
 	pages := make(map[uint64]struct{})
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].Valid {
+			if set[i].Valid && c.live(&set[i]) {
 				pages[set[i].Addr>>memory.PageShift] = struct{}{}
 			}
 		}
@@ -351,16 +534,19 @@ func (c *Cache) DistinctPages() int {
 }
 
 // Resident returns the number of valid lines.
-func (c *Cache) Resident() int {
-	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid {
-				n++
-			}
-		}
+func (c *Cache) Resident() int { return c.resident }
+
+// DirtyLines returns the number of live dirty lines (the writebacks a full
+// flush will owe).
+func (c *Cache) DirtyLines() int { return c.dirty }
+
+// ASIDResident returns the live line and dirty-line counts for one address
+// space, without scanning.
+func (c *Cache) ASIDResident(asid memory.ASID) (lines, dirty int) {
+	if ac := c.perASID[asid]; ac != nil {
+		return ac.n, ac.dirty
 	}
-	return n
+	return 0, 0
 }
 
 func (c *Cache) String() string {

@@ -150,6 +150,15 @@ type Config struct {
 	// path, owned by SimVersion; see DESIGN.md. No-op for VirtualHierarchy
 	// and IdealMMU, whose designs have nothing to batch.
 	BatchedTranslation bool
+	// EagerFlush restores scan-based bulk invalidation in the TLBs, caches,
+	// and FBT: every InvalidateAll/InvalidateASID/FlushAll walks the
+	// structure and fires per-entry eviction hooks, instead of the default
+	// O(1)-amortized epoch retirement with aggregate accounting. The two
+	// modes are pinned byte-identical (Results and metrics snapshots) by
+	// differential tests; the flag exists for that pin and for lifetime
+	// tracking, which needs per-entry hooks and forces it on. See DESIGN.md
+	// "Bulk invalidation & tenant churn".
+	EagerFlush bool
 }
 
 // DefaultConfig returns the Table 1 baseline system (Baseline 512).

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"vcache/internal/memory"
+	"vcache/internal/obs"
+	"vcache/internal/workloads"
+)
+
+// eagerFlushParams keeps the all-workloads sweep cheap: every generator
+// still runs end to end, just on a small machine.
+func eagerFlushParams() workloads.Params {
+	return workloads.Params{Scale: 1, NumCUs: 4, WarpsPerCU: 2, Seed: 42}
+}
+
+// TestEagerFlushParityAllWorkloads is the acceptance gate for the epoch
+// invalidation scheme: with Config.EagerFlush toggled and nothing else,
+// every workload must produce byte-identical encoded Results and an
+// identical final metrics snapshot. The lazy path is an accounting trick,
+// not a model change — SimVersion stays put because this holds.
+func TestEagerFlushParityAllWorkloads(t *testing.T) {
+	p := eagerFlushParams()
+	for _, g := range workloads.All() {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := g.Build(p)
+			run := func(eager bool) ([]byte, obs.Snapshot) {
+				cfg := DesignVCOpt()
+				cfg.GPU.NumCUs = p.NumCUs
+				cfg.EagerFlush = eager
+				sys := MustNew(cfg)
+				var last obs.Snapshot
+				res, err := sys.RunContext(context.Background(), tr,
+					WithMetricsSnapshot(func(s obs.Snapshot) { last = s }))
+				if err != nil {
+					t.Fatalf("RunContext(eager=%v): %v", eager, err)
+				}
+				return EncodeResults(res), last
+			}
+			lazyBytes, lazySnap := run(false)
+			eagerBytes, eagerSnap := run(true)
+			if !bytes.Equal(lazyBytes, eagerBytes) {
+				t.Errorf("encoded Results differ between lazy and eager flush\nlazy:  %s\neager: %s",
+					lazyBytes, eagerBytes)
+			}
+			if !reflect.DeepEqual(lazySnap, eagerSnap) {
+				t.Errorf("final metrics snapshot differs between lazy and eager flush")
+			}
+		})
+	}
+}
+
+// TestEagerFlushParityMultiASID drives a multi-tenant churn plan through
+// ONE System per mode — so FlushGPU, RetireASID, and context switches fire
+// on structures still warm from the previous tenant — and requires parity
+// of every launch's encoded Results, every RetireStats, and the final
+// snapshot, at intra-parallelism 1 and 4 and across the three designs the
+// churn figure runs.
+func TestEagerFlushParityMultiASID(t *testing.T) {
+	p := workloads.ChurnParams{
+		Tenants: 6, Launches: 12, ASIDSlots: 3,
+		KernelPages: 16, SharedPages: 4,
+		NumCUs: 4, WarpsPerCU: 2, Seed: 42, ArrivalPeriod: 1,
+	}.Normalized()
+	pl := workloads.BuildChurnPlan(p)
+
+	type launchOut struct {
+		res    []byte
+		retire RetireStats
+	}
+	churnRun := func(t *testing.T, cfg Config, workers int) ([]launchOut, obs.Snapshot) {
+		t.Helper()
+		cfg.GPU.NumCUs = p.NumCUs
+		sys := MustNew(cfg)
+		var outs []launchOut
+		var last obs.Snapshot
+		for _, l := range pl.Launches {
+			var o launchOut
+			if l.Retire != 0 {
+				o.retire = sys.RetireASID(l.Retire)
+			}
+			res, err := sys.RunContext(context.Background(), pl.KernelTrace(l),
+				WithIntraParallelism(workers),
+				WithMetricsSnapshot(func(s obs.Snapshot) { last = s }))
+			if err != nil {
+				t.Fatalf("launch %d (asid %d): %v", l.Seq, l.ASID, err)
+			}
+			o.res = EncodeResults(res)
+			outs = append(outs, o)
+		}
+		return outs, last
+	}
+
+	designs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"vc-opt", DesignVCOpt()},
+		{"baseline-512", DesignBaseline512()},
+		{"vc-opt-dsr", DesignVCOptDSR()},
+	}
+	for _, d := range designs {
+		d := d
+		for _, workers := range []int{1, 4} {
+			workers := workers
+			t.Run(d.name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				t.Parallel()
+				lazyCfg, eagerCfg := d.cfg, d.cfg
+				eagerCfg.EagerFlush = true
+				lazy, lazySnap := churnRun(t, lazyCfg, workers)
+				eager, eagerSnap := churnRun(t, eagerCfg, workers)
+				for i := range lazy {
+					if lazy[i].retire != eager[i].retire {
+						t.Errorf("launch %d: RetireStats diverge: lazy %+v eager %+v",
+							i, lazy[i].retire, eager[i].retire)
+					}
+					if !bytes.Equal(lazy[i].res, eager[i].res) {
+						t.Errorf("launch %d: encoded Results diverge\nlazy:  %s\neager: %s",
+							i, lazy[i].res, eager[i].res)
+					}
+				}
+				if !reflect.DeepEqual(lazySnap, eagerSnap) {
+					t.Errorf("final metrics snapshot differs between lazy and eager flush")
+				}
+			})
+		}
+	}
+	// The plan must actually exercise retirement, or the RetireStats
+	// comparisons above are vacuous.
+	retires := 0
+	for _, l := range pl.Launches {
+		if l.Retire != memory.ASID(0) {
+			retires++
+		}
+	}
+	if retires == 0 {
+		t.Fatal("churn plan produced no retirements; grow Tenants or Launches")
+	}
+}

@@ -216,11 +216,19 @@ func (s *System) enableIntra(req int, traced bool) {
 		func(cu int, fn func()) { part.Send(0, cu+1, coordLat, fn) },
 	)
 
-	s.reg.Gauge("sim.windows", func() float64 { return float64(part.Windows()) })
-	s.reg.Gauge("sim.mailbox.crossings", func() float64 { return float64(part.Crossings()) })
-	for i := range engines {
-		e := engines[i]
-		s.reg.Gauge(fmt.Sprintf("sim.partition.p%d.fired", i), func() float64 { return float64(e.Fired()) })
+	// Gauges register once per System and read through s.intra, so a
+	// system that runs several partitioned kernels back to back (tenant
+	// churn) reports the latest run without re-registering.
+	if !s.intraGauges {
+		s.intraGauges = true
+		s.reg.Gauge("sim.windows", func() float64 { return float64(s.intra.part.Windows()) })
+		s.reg.Gauge("sim.mailbox.crossings", func() float64 { return float64(s.intra.part.Crossings()) })
+		for i := range engines {
+			i := i
+			s.reg.Gauge(fmt.Sprintf("sim.partition.p%d.fired", i), func() float64 {
+				return float64(s.intra.engines[i].Fired())
+			})
+		}
 	}
 }
 

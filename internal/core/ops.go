@@ -39,6 +39,10 @@ func (s *System) Shootdown(va memory.VAddr) {
 
 // FlushGPU performs an all-entry shootdown: every TLB is flushed and, for
 // the virtual hierarchy, the FBT is drained (flushing all cached data).
+// With epoch-based invalidation (the default) the drain is a generation
+// bump plus aggregate accounting; with Config.EagerFlush the FBT scan
+// fires the per-entry eviction path, which the differential tests pin
+// byte-identical to the lazy form.
 func (s *System) FlushGPU() {
 	for _, t := range s.cuTLBs {
 		t.InvalidateAll()
@@ -46,10 +50,116 @@ func (s *System) FlushGPU() {
 	for _, t := range s.cuTLB2s {
 		t.InvalidateAll()
 	}
-	s.io.TLB().InvalidateAll()
-	if s.fbt != nil {
-		s.fbt.FlushAll()
+	s.io.ShootdownAll()
+	if s.fbt == nil {
+		return
 	}
+	if s.fbt.Eager {
+		s.fbt.FlushAll()
+		return
+	}
+	if s.intra != nil {
+		// A partitioned run is still wired: the per-entry eviction path owns
+		// the cross-partition L1-flush messages, so scan eagerly.
+		s.fbt.Eager = true
+		s.fbt.FlushAll()
+		s.fbt.Eager = false
+		return
+	}
+	// Lazy: one epoch bump retires the FBT and the whole L2, reproducing
+	// the per-entry path's accounting in aggregate. BT inclusivity makes
+	// the bit-vector line count exactly the L2 residency; each dirty line
+	// writes back twice on the eager path (once from the L2 eviction, once
+	// from the FBT entry's own dirty check); and any CU with a non-empty L1
+	// would have matched a dying entry's invalidation filter, so each
+	// non-empty L1 flushes whole exactly once.
+	lines := s.l2.Resident()
+	dirty := s.l2.DirtyLines()
+	s.fbt.FlushAll()
+	s.l2.InvalidateAll()
+	s.fbtInvalLines += uint64(lines)
+	for i := 0; i < 2*dirty; i++ {
+		s.mem.Access(true, func() {})
+	}
+	for cu := range s.l1s {
+		s.flushL1(cu)
+	}
+}
+
+// RetireASID retires an address-space slot (tenant kernel rollover): every
+// translation and cached line belonging to asid is dropped across the GPU
+// — per-CU TLBs, the shared IOMMU TLB (one ASID-wide shootdown message
+// instead of a page-by-page storm), the FBT, and the caches — and the
+// backing address space is released so the slot can be reassigned to the
+// next tenant. GPU L1s support no selective probes, so in the virtual
+// designs any L1 holding the space's lines conservatively flushes whole
+// (the same rule the FBT-eviction path applies); physically-tagged L1s
+// invalidate selectively. The ASID-batched form invalidates the L2
+// directly rather than entry-by-entry through BT bit vectors, so it is
+// mode-symmetric by construction: the per-entry FBT eviction hook is
+// suppressed and the aggregate accounting below stands in for it in both
+// lazy and eager modes. Call between runs (with the engine drained).
+func (s *System) RetireASID(asid memory.ASID) RetireStats {
+	var rs RetireStats
+	for _, t := range s.cuTLBs {
+		rs.TLBEntries += t.InvalidateASID(asid)
+	}
+	for _, t := range s.cuTLB2s {
+		rs.TLBEntries += t.InvalidateASID(asid)
+	}
+	rs.SharedTLBEntries = s.io.ShootdownASID(asid)
+	if s.fbt != nil {
+		save := s.fbt.OnEvict
+		s.fbt.OnEvict = nil
+		rs.FBTEntries = s.fbt.FlushASID(asid)
+		s.fbt.OnEvict = save
+	}
+	// The L2 invalidates selectively; dirty lines write back once. In eager
+	// mode the cache's own eviction hook performs the writebacks.
+	_, dirty := s.l2.ASIDResident(asid)
+	rs.L2Lines = s.l2.InvalidateASID(asid)
+	if !s.l2.Eager {
+		for i := 0; i < dirty; i++ {
+			s.mem.Access(true, func() {})
+		}
+	}
+	virtual := s.cfg.Kind == VirtualHierarchy || s.cfg.Kind == L1OnlyVirtual
+	for cu, l1 := range s.l1s {
+		lines, _ := l1.ASIDResident(asid)
+		if lines == 0 {
+			continue
+		}
+		if virtual {
+			rs.L1Lines += l1.Resident() // the whole L1 flushes, not just asid's lines
+			s.flushL1(cu)
+		} else {
+			rs.L1Lines += l1.InvalidateASID(asid)
+		}
+	}
+	s.clearRemaps()
+	if sp, ok := s.spaces[asid]; ok {
+		sp.Release()
+		delete(s.spaces, asid)
+	}
+	if asid == s.asid {
+		s.as = s.SpaceFor(asid) // fresh, empty space under the same slot
+		s.walker.SetTable(s.as.Table)
+	}
+	return rs
+}
+
+// RetireStats counts what one RetireASID dropped.
+type RetireStats struct {
+	TLBEntries       int // per-CU (and second-level) TLB entries
+	SharedTLBEntries int // shared IOMMU TLB entries
+	L2Lines          int
+	L1Lines          int // lines lost to L1 flushes / selective invalidation
+	FBTEntries       int
+}
+
+// Total sums every dropped entry and line.
+func (r RetireStats) Total() int {
+	return r.TLBEntries + r.SharedTLBEntries + r.L2Lines + r.L1Lines + r.FBTEntries
 }
 
 // CPUProbe models an invalidating coherence probe arriving from the CPU

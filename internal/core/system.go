@@ -109,7 +109,8 @@ type System struct {
 	fillsSincePage int
 	finishCycle    uint64 // cycle the last warp retired
 
-	intra *intraState // non-nil once enableIntra has partitioned the run
+	intra       *intraState // non-nil once enableIntra has partitioned the run
+	intraGauges bool        // partition gauges registered (once per System)
 
 	reg *obs.Registry
 }
@@ -207,6 +208,26 @@ func New(cfg Config) (*System, error) {
 			t.OnEvict = func(e tlb.Entry, life uint64) {
 				s.cuStats[cu].tlbLife.Add(float64(life))
 			}
+		}
+	}
+
+	// Bulk-invalidation mode: epoch-based (lazy) by default. Lifetime
+	// tracking needs per-entry eviction hooks on bulk flushes, so it forces
+	// the eager scans back on.
+	if cfg.EagerFlush || cfg.TrackLifetimes {
+		s.l2.Eager = true
+		for _, l1 := range s.l1s {
+			l1.Eager = true
+		}
+		for _, t := range s.cuTLBs {
+			t.Eager = true
+		}
+		for _, t := range s.cuTLB2s {
+			t.Eager = true
+		}
+		s.io.TLB().Eager = true
+		if s.fbt != nil {
+			s.fbt.Eager = true
 		}
 	}
 
@@ -384,6 +405,11 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // Space exposes the current address space so callers can install synonym
 // mappings or change permissions before (or between) runs.
 func (s *System) Space() *memory.AddressSpace { return s.as }
+
+// Frames exposes the shared physical frame allocator, for callers that
+// build cross-address-space shared mappings (frames allocated here belong
+// to the caller; install them with AddressSpace.MapFrame).
+func (s *System) Frames() *memory.FrameAlloc { return s.alloc }
 
 // SpaceFor returns the address space for asid, creating it on first use.
 // All spaces share one physical frame allocator.

@@ -15,7 +15,9 @@ import (
 // accounting and ablations of the design points §3.2/§4.3 discuss
 // qualitatively (banked shared TLBs, large pages, dynamic synonym
 // remapping, invalidation filters).
-func Extras() []string { return []string{"area", "banked", "largepages", "dsr", "energy"} }
+func Extras() []string {
+	return []string{"area", "banked", "largepages", "dsr", "energy", "churn"}
+}
 
 // Area renders the §4.3 storage accounting.
 func Area() string {

@@ -581,6 +581,9 @@ func (s *Suite) Render(id string) (string, error) {
 	case "energy":
 		_, out := s.Energy()
 		return out, nil
+	case "churn":
+		_, out := s.Churn()
+		return out, nil
 	default:
 		return "", fmt.Errorf("experiments: unknown figure %q (have %s; extras: %s)",
 			id, strings.Join(Figures(), ", "), strings.Join(Extras(), ", "))

@@ -13,6 +13,13 @@
 // indexed by both physical and virtual addresses: coherence requests and
 // synonym checks arrive physical, while shootdowns, L2 evictions, and the
 // FBT-as-second-level-TLB optimization arrive virtual.
+//
+// Bulk flushes (FlushAll / FlushASID) are epoch-based by default: a
+// generation bump retires every targeted entry at once (FlushAll also
+// swaps in a fresh FT), dead entries are reclaimed when next touched, and
+// a live-entry count keeps Len() exact. The eager scan paths survive
+// behind the Eager flag; only eager flushes fire OnEvict per entry, so the
+// owner on the lazy path performs the cache invalidations in aggregate.
 package fbt
 
 import (
@@ -83,6 +90,7 @@ type entry struct {
 	locked     bool
 	synonymUse bool // a non-leading access has touched this page
 	lru        uint64
+	born       uint32 // generation at allocation (epoch invalidation)
 }
 
 type ftKey struct {
@@ -114,10 +122,26 @@ type FBT struct {
 	tick uint64
 	st   Stats
 
+	// Epoch invalidation state: an entry is live iff born >= deadAll and
+	// >= its address space's deadASID mark. normalize() rewinds the
+	// generations before the counter can wrap.
+	seq      uint32
+	deadAll  uint32
+	deadASID map[memory.ASID]uint32
+	live     int // live entries (maintained, so Len is O(1))
+	perASID  map[memory.ASID]int
+	staleFT  int // FT pointers to dead entries (FlushASID residue)
+
+	// Eager restores scan-based bulk flushes: FlushAll and FlushASID walk
+	// the table and fire OnEvict per entry. Lazy flushes (the default)
+	// update the same counters but never fire OnEvict — the owner
+	// invalidates cached data in aggregate instead.
+	Eager bool
+
 	// OnEvict observes entries leaving the BT (capacity eviction or
 	// shootdown). The owner must invalidate the page's data in the virtual
 	// caches: L2 lines per the bit vector, L1s via the invalidation
-	// filters.
+	// filters. Lazy bulk flushes (Eager == false) skip it.
 	OnEvict func(v View)
 
 	// Trace, if set, receives cycle-stamped "probe.forwarded" and
@@ -153,14 +177,105 @@ func (f *FBT) setIndex(ppn memory.PPN) int {
 	return int(uint64(ppn) % uint64(len(f.sets)))
 }
 
+// liveE reports whether a valid entry survived every bulk flush since it
+// was allocated. Callers check valid themselves.
+func (f *FBT) liveE(e *entry) bool {
+	if e.born < f.deadAll {
+		return false
+	}
+	if len(f.deadASID) != 0 {
+		if d, ok := f.deadASID[e.ASID]; ok && e.born < d {
+			return false
+		}
+	}
+	return true
+}
+
+// reclaim frees a dead entry's slot, dropping its FT pointer if one still
+// dangles from a lazy FlushASID.
+func (f *FBT) reclaim(e *entry) {
+	e.valid = false
+	k := ftKey{e.ASID, e.LVPN}
+	if f.ft[k] == e {
+		delete(f.ft, k)
+		f.staleFT--
+	}
+}
+
+// bumpGen advances the generation counter, normalizing first when the next
+// increment would wrap.
+func (f *FBT) bumpGen() uint32 {
+	if f.seq == ^uint32(0) {
+		f.normalize()
+	}
+	f.seq++
+	return f.seq
+}
+
+// normalize physically drops dead entries and rewinds every generation to
+// zero; one table walk per 2^32 bulk flushes.
+func (f *FBT) normalize() {
+	for si := range f.sets {
+		set := f.sets[si]
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if !f.liveE(&set[i]) {
+				f.reclaim(&set[i])
+			} else {
+				set[i].born = 0
+			}
+		}
+	}
+	f.staleFT = 0
+	f.seq, f.deadAll = 0, 0
+	f.deadASID = nil
+}
+
+// maybeCompactFT bounds the dead residue in the FT after lazy FlushASID
+// calls: when dangling pointers outnumber live entries the dead ones are
+// pruned. Triggered only by op counts, so it is deterministic.
+func (f *FBT) maybeCompactFT() {
+	if f.staleFT <= 64 || f.staleFT <= f.live {
+		return
+	}
+	for k, e := range f.ft {
+		if !e.valid || !f.liveE(e) {
+			delete(f.ft, k)
+		}
+	}
+	f.staleFT = 0
+}
+
 func (f *FBT) findPPN(ppn memory.PPN) *entry {
 	set := f.sets[f.setIndex(ppn)]
 	for i := range set {
 		if set[i].valid && set[i].PPN == ppn {
+			if !f.liveE(&set[i]) {
+				// Reclaim on touch; a live entry for the same PPN may still
+				// follow (allocated after the flush into another way).
+				f.reclaim(&set[i])
+				continue
+			}
 			return &set[i]
 		}
 	}
 	return nil
+}
+
+// ftGet returns the live BT entry whose leading virtual page is k,
+// reclaiming a dead one on touch.
+func (f *FBT) ftGet(k ftKey) *entry {
+	e, ok := f.ft[k]
+	if !ok || !e.valid {
+		return nil
+	}
+	if !f.liveE(e) {
+		f.reclaim(e)
+		return nil
+	}
+	return e
 }
 
 // LookupPPN returns the entry for ppn, if present (reverse translation for
@@ -224,7 +339,7 @@ func (f *FBT) Allocate(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, perm me
 	set := f.sets[f.setIndex(ppn)]
 	victim := -1
 	for i := range set {
-		if !set[i].valid {
+		if !set[i].valid || !f.liveE(&set[i]) {
 			victim = i
 			break
 		}
@@ -239,14 +354,28 @@ func (f *FBT) Allocate(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, perm me
 		panic("fbt: all ways locked")
 	}
 	if set[victim].valid {
-		f.evict(&set[victim])
+		if f.liveE(&set[victim]) {
+			f.evict(&set[victim])
+		} else {
+			f.reclaim(&set[victim])
+		}
 	}
 	set[victim] = entry{
 		View:  View{PPN: ppn, ASID: asid, LVPN: vpn, Perm: perm, Written: written},
 		valid: true,
 		lru:   f.tick,
+		born:  f.seq,
 	}
-	f.ft[ftKey{asid, vpn}] = &set[victim]
+	k := ftKey{asid, vpn}
+	if old, ok := f.ft[k]; ok && old != &set[victim] && (!old.valid || !f.liveE(old)) {
+		f.staleFT--
+	}
+	f.ft[k] = &set[victim]
+	f.live++
+	if f.perASID == nil {
+		f.perASID = make(map[memory.ASID]int)
+	}
+	f.perASID[asid]++
 	return set[victim].View
 }
 
@@ -254,6 +383,12 @@ func (f *FBT) evict(e *entry) {
 	f.st.Evictions++
 	delete(f.ft, ftKey{e.ASID, e.LVPN})
 	e.valid = false
+	f.live--
+	if n := f.perASID[e.ASID] - 1; n == 0 {
+		delete(f.perASID, e.ASID)
+	} else {
+		f.perASID[e.ASID] = n
+	}
 	if f.OnEvict != nil {
 		f.OnEvict(e.View)
 	}
@@ -272,7 +407,7 @@ func (f *FBT) SetLine(ppn memory.PPN, idx int) bool {
 // (asid, vpn) — the FT path used on L2 evictions, which carry virtual
 // addresses. It reports whether an entry was found.
 func (f *FBT) ClearLine(asid memory.ASID, vpn memory.VPN, idx int) bool {
-	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
 		e.BitVec &^= 1 << uint(idx)
 		return true
 	}
@@ -291,7 +426,7 @@ func (f *FBT) MarkWritten(ppn memory.PPN) {
 // virtual page (L2 write hits carry no physical address; the FT resolves
 // them).
 func (f *FBT) MarkWrittenVPN(asid memory.ASID, vpn memory.VPN) {
-	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
 		e.Written = true
 	}
 }
@@ -301,7 +436,7 @@ func (f *FBT) MarkWrittenVPN(asid memory.ASID, vpn memory.VPN) {
 // with a live BT entry. This is the paper's "VC With OPT" path that removes
 // most page-table walks after shared-TLB misses.
 func (f *FBT) TranslateVPN(asid memory.ASID, vpn memory.VPN) (memory.PPN, memory.Perm, bool) {
-	if e, ok := f.ft[ftKey{asid, vpn}]; ok && e.valid {
+	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
 		f.st.SecondaryTLBHits++
 		f.tick++
 		e.lru = f.tick
@@ -316,8 +451,8 @@ func (f *FBT) TranslateVPN(asid memory.ASID, vpn memory.VPN) (memory.PPN, memory
 // invalidations), and the shootdown is acknowledged; otherwise the FT
 // filters the request. It reports whether invalidation work was needed.
 func (f *FBT) Shootdown(asid memory.ASID, vpn memory.VPN) bool {
-	e, ok := f.ft[ftKey{asid, vpn}]
-	if !ok || !e.valid {
+	e := f.ftGet(ftKey{asid, vpn})
+	if e == nil {
 		f.st.ShootdownsFiltered++
 		return false
 	}
@@ -353,23 +488,75 @@ func (f *FBT) FilterProbe(pa memory.PAddr) (memory.VAddr, memory.ASID, bool) {
 	return va, e.ASID, true
 }
 
-// FlushAll evicts every entry (all-entry shootdown: full cache flush).
+// FlushAll evicts every entry (all-entry shootdown: full cache flush),
+// returning the live count dropped. Lazy unless Eager is set: one
+// generation bump plus a fresh FT retires the whole table at once.
 func (f *FBT) FlushAll() int {
-	n := 0
-	for si := range f.sets {
-		set := f.sets[si]
-		for i := range set {
-			if set[i].valid {
-				f.evict(&set[i])
-				n++
+	n := f.live
+	if f.Eager {
+		for si := range f.sets {
+			set := f.sets[si]
+			for i := range set {
+				if set[i].valid && f.liveE(&set[i]) {
+					f.evict(&set[i])
+				}
 			}
 		}
+		return n
 	}
+	if n == 0 && f.staleFT == 0 {
+		return 0
+	}
+	f.st.Evictions += uint64(n)
+	f.ft = make(map[ftKey]*entry)
+	f.staleFT = 0
+	if n > 0 {
+		f.deadAll = f.bumpGen()
+		f.deadASID = nil
+	}
+	f.live = 0
+	f.perASID = nil
+	return n
+}
+
+// FlushASID evicts every entry belonging to one address space (ASID
+// rollover), returning the count dropped. Lazy unless Eager is set; the
+// dead entries' FT pointers are pruned when touched or when they outnumber
+// live entries.
+func (f *FBT) FlushASID(asid memory.ASID) int {
+	n := f.perASID[asid]
+	if f.Eager {
+		for si := range f.sets {
+			set := f.sets[si]
+			for i := range set {
+				if set[i].valid && set[i].ASID == asid && f.liveE(&set[i]) {
+					f.evict(&set[i])
+				}
+			}
+		}
+		return n
+	}
+	if n == 0 {
+		return 0
+	}
+	f.st.Evictions += uint64(n)
+	f.live -= n
+	delete(f.perASID, asid)
+	g := f.bumpGen()
+	if f.deadASID == nil {
+		f.deadASID = make(map[memory.ASID]uint32)
+	}
+	f.deadASID[asid] = g
+	f.staleFT += n
+	f.maybeCompactFT()
 	return n
 }
 
 // Len returns the number of live entries.
-func (f *FBT) Len() int { return len(f.ft) }
+func (f *FBT) Len() int { return f.live }
+
+// ASIDResident returns the live entry count for one address space.
+func (f *FBT) ASIDResident(asid memory.ASID) int { return f.perASID[asid] }
 
 // Entry returns the entry for ppn without counting a lookup (test/debug).
 func (f *FBT) Entry(ppn memory.PPN) (View, bool) {

@@ -275,6 +275,27 @@ func (io *IOMMU) Shootdown(asid memory.ASID, vpn memory.VPN) {
 	io.tlb.InvalidatePage(asid, vpn)
 }
 
+// ShootdownPages invalidates a batch of pages belonging to one address
+// space as a single shootdown message, returning the number of entries
+// dropped. The batch counts once toward the TLB's shootdown statistics
+// regardless of length.
+func (io *IOMMU) ShootdownPages(asid memory.ASID, vpns []memory.VPN) int {
+	return io.tlb.InvalidatePages(asid, vpns)
+}
+
+// ShootdownASID invalidates every shared-TLB entry belonging to one
+// address space (ASID rollover) as a single message, returning the number
+// of entries dropped.
+func (io *IOMMU) ShootdownASID(asid memory.ASID) int {
+	return io.tlb.InvalidateASID(asid)
+}
+
+// ShootdownAll invalidates the entire shared TLB as a single message,
+// returning the number of entries dropped.
+func (io *IOMMU) ShootdownAll() int {
+	return io.tlb.InvalidateAll()
+}
+
 // ExtendSampling widens the sampler horizon to the current cycle so
 // trailing idle windows count toward rate statistics.
 func (io *IOMMU) ExtendSampling() { io.sampler.Extend(io.eng.Now()) }

@@ -1,6 +1,9 @@
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // AddressSpace is a demand-mapped virtual address space: the first touch of
 // a page allocates a physical frame and installs the translation, the way
@@ -14,6 +17,10 @@ type AddressSpace struct {
 
 	// reverse maps PPN -> all VPNs mapped to it, for synonym bookkeeping.
 	reverse map[PPN][]VPN
+
+	// foreign marks frames installed with MapFrame: owned elsewhere (a
+	// cross-space shared page), so Release and Unmap never free them.
+	foreign map[PPN]bool
 
 	defaultPerm Perm
 }
@@ -88,6 +95,52 @@ func (as *AddressSpace) MapSynonym(alias, target VAddr, perm Perm) PTE {
 	return PTE{PPN: tgt.PPN, Perm: perm, Valid: true}
 }
 
+// MapFrame maps va's page directly to a caller-chosen physical frame with
+// permission perm — the cross-address-space sharing primitive (tenants
+// mapping one read-only frame). The frame is owned by whoever allocated
+// it: this space marks it foreign and will never free it.
+func (as *AddressSpace) MapFrame(va VAddr, ppn PPN, perm Perm) PTE {
+	vpn := va.Page()
+	if old, ok := as.Table.Lookup(vpn); ok && old.PPN == ppn {
+		return old
+	}
+	as.Table.Map(vpn, ppn, perm)
+	as.reverse[ppn] = append(as.reverse[ppn], vpn)
+	if as.foreign == nil {
+		as.foreign = make(map[PPN]bool)
+	}
+	as.foreign[ppn] = true
+	return PTE{PPN: ppn, Perm: perm, Valid: true}
+}
+
+// Release frees every frame the space allocated for itself back to the
+// shared allocator (foreign MapFrame frames stay live) and returns how
+// many frames were freed. Frames are freed in ascending PPN order so
+// recycling — and therefore every later allocation — is deterministic.
+// The space must not be used afterwards.
+func (as *AddressSpace) Release() int {
+	ppns := make([]PPN, 0, len(as.reverse))
+	for ppn := range as.reverse {
+		if !as.foreign[ppn] {
+			ppns = append(ppns, ppn)
+		}
+	}
+	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	freed := 0
+	for _, ppn := range ppns {
+		n := 1
+		if pte, ok := as.Table.Lookup(as.reverse[ppn][0]); ok && pte.Large {
+			n = PagesPerLarge
+		}
+		for i := 0; i < n; i++ {
+			as.alloc.Free(ppn + PPN(i))
+			freed++
+		}
+	}
+	as.reverse = make(map[PPN][]VPN)
+	return freed
+}
+
 // Synonyms returns all VPNs currently mapped to ppn.
 func (as *AddressSpace) Synonyms(ppn PPN) []VPN {
 	return as.reverse[ppn]
@@ -129,7 +182,11 @@ func (as *AddressSpace) Unmap(va VAddr) bool {
 	}
 	if len(vs) == 0 {
 		delete(as.reverse, pte.PPN)
-		as.alloc.Free(pte.PPN)
+		if as.foreign[pte.PPN] {
+			delete(as.foreign, pte.PPN)
+		} else {
+			as.alloc.Free(pte.PPN)
+		}
 	} else {
 		as.reverse[pte.PPN] = vs
 	}

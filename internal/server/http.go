@@ -18,6 +18,7 @@ import (
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/jobs/{id}/result  canonical result bytes
 //	GET    /v1/jobs/{id}/events  SSE progress/metrics/lifecycle stream
+//	GET    /v1/results       cached-result fingerprint index (paginated)
 //	GET    /v1/queue         queue introspection
 //	GET    /v1/health        health
 //	GET    /v1/metrics       server metrics-registry snapshot
@@ -28,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results", s.handleResultsIndex)
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -176,6 +178,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+func (s *Server) handleResultsIndex(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, limit := 0, 0
+	var err error
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			writeJSON(w, http.StatusBadRequest, apiv1.ErrorBody{Error: "apiv1: offset must be a non-negative integer"})
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeJSON(w, http.StatusBadRequest, apiv1.ErrorBody{Error: "apiv1: limit must be a non-negative integer"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.ResultsIndex(offset, limit))
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {

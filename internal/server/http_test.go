@@ -250,3 +250,88 @@ func TestHTTPRejectsBadSpec(t *testing.T) {
 		t.Errorf("unknown-field spec got %d, want 400", resp.StatusCode)
 	}
 }
+
+func TestHTTPResultsIndex(t *testing.T) {
+	client, _ := newHTTPServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Empty cache: empty index, not an error.
+	idx, err := client.Results(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("Results (empty): %v", err)
+	}
+	if idx.Total != 0 || len(idx.Results) != 0 || idx.APIVersion != apiv1.Version {
+		t.Fatalf("empty index = %+v", idx)
+	}
+
+	// Run two distinct jobs; both land in the shared cache.
+	spec2 := nwSpec()
+	spec2.Design.Preset = "baseline-512"
+	var fps []string
+	for _, spec := range []apiv1.JobSpec{nwSpec(), spec2} {
+		info, err := client.SubmitWait(ctx, spec)
+		if err != nil || info.State != apiv1.JobDone {
+			t.Fatalf("SubmitWait: %v (state %s %s)", err, info.State, info.Error)
+		}
+		fps = append(fps, info.Fingerprint)
+	}
+
+	idx, err = client.Results(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if idx.Total != 2 || len(idx.Results) != 2 {
+		t.Fatalf("index total %d, %d entries; want 2, 2", idx.Total, len(idx.Results))
+	}
+	if idx.Results[0].Fingerprint >= idx.Results[1].Fingerprint {
+		t.Errorf("index not sorted: %q >= %q", idx.Results[0].Fingerprint, idx.Results[1].Fingerprint)
+	}
+	for _, e := range idx.Results {
+		if e.Bytes <= 0 {
+			t.Errorf("entry %s has size %d", e.Fingerprint, e.Bytes)
+		}
+	}
+	// Every job fingerprint must appear in the index.
+	have := map[string]bool{}
+	for _, e := range idx.Results {
+		have[e.Fingerprint] = true
+	}
+	for _, fp := range fps {
+		if !have[fp] {
+			t.Errorf("job fingerprint %s missing from index %v", fp, have)
+		}
+	}
+
+	// Pagination: one entry per page, then past-the-end.
+	p0, err := client.Results(ctx, 0, 1)
+	if err != nil {
+		t.Fatalf("Results page 0: %v", err)
+	}
+	p1, err := client.Results(ctx, 1, 1)
+	if err != nil {
+		t.Fatalf("Results page 1: %v", err)
+	}
+	if len(p0.Results) != 1 || len(p1.Results) != 1 || p0.Total != 2 || p1.Total != 2 {
+		t.Fatalf("pages: %+v / %+v", p0, p1)
+	}
+	if p0.Results[0] != idx.Results[0] || p1.Results[0] != idx.Results[1] {
+		t.Errorf("paged entries disagree with full index")
+	}
+	past, err := client.Results(ctx, 5, 1)
+	if err != nil || past.Total != 2 || len(past.Results) != 0 {
+		t.Fatalf("past-the-end page: %+v err %v", past, err)
+	}
+
+	// Bad query values are 400s.
+	for _, q := range []string{"offset=-1", "limit=-1", "offset=x"} {
+		resp, err := http.Get(client.BaseURL + "/v1/results?" + q)
+		if err != nil {
+			t.Fatalf("GET ?%s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET ?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

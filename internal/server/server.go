@@ -690,6 +690,42 @@ func (s *Server) Health() apiv1.Health {
 	}
 }
 
+// defaultResultsPageLimit bounds a ResultsIndex page when the caller
+// passes no (or an oversized) limit.
+const defaultResultsPageLimit = 1000
+
+// ResultsIndex lists the shared artifact cache's result entries, sorted by
+// fingerprint, paginated by [offset, offset+limit). A server without a
+// cache reports an empty index. The listing reads the cache directory, not
+// server state, so entries written by other processes sharing the
+// directory appear too — the index is the cache's view, not the job
+// table's.
+func (s *Server) ResultsIndex(offset, limit int) apiv1.ResultsIndex {
+	if limit <= 0 || limit > defaultResultsPageLimit {
+		limit = defaultResultsPageLimit
+	}
+	all := s.cache.ListResults()
+	idx := apiv1.ResultsIndex{
+		APIVersion: apiv1.Version,
+		Total:      len(all),
+		Offset:     offset,
+		Results:    []apiv1.ResultEntry{},
+	}
+	if offset < 0 || offset >= len(all) {
+		return idx
+	}
+	end := offset + limit
+	if end > len(all) {
+		end = len(all)
+	}
+	for _, e := range all[offset:end] {
+		idx.Results = append(idx.Results, apiv1.ResultEntry{
+			Fingerprint: e.Fingerprint, Bytes: e.Bytes,
+		})
+	}
+	return idx
+}
+
 // infoLocked renders a job's current status document.
 func (s *Server) infoLocked(j *job) apiv1.JobInfo {
 	info := apiv1.JobInfo{

@@ -4,10 +4,20 @@
 // "demand miss" and IDEAL MMU configurations. Optional lifetime hooks feed
 // the appendix figure comparing TLB-entry residence against cache-line
 // residence.
+//
+// Bulk invalidation (InvalidateAll / InvalidateASID) is epoch-based by
+// default: each entry records the generation it was inserted under, a bulk
+// invalidation bumps a generation counter and defers the physical work, and
+// dead entries are skipped or reclaimed on next touch. Residency counts are
+// maintained incrementally so Len() and the obs gauge stay exact without
+// scanning. The eager scan paths survive behind the Eager flag for
+// differential testing and for owners that need per-entry OnEvict
+// observation during bulk flushes.
 package tlb
 
 import (
 	"fmt"
+	"sort"
 
 	"vcache/internal/memory"
 	"vcache/internal/obs"
@@ -25,6 +35,7 @@ type Entry struct {
 	valid      bool
 	lru        uint64
 	insertedAt uint64
+	born       uint32 // generation at insertion (epoch invalidation)
 }
 
 // Frame returns the physical frame for vpn, which must lie in the entry's
@@ -68,6 +79,13 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(a)
 }
 
+// asidCnt tracks one address space's live entries so lazy InvalidateASID
+// can account for them without a scan.
+type asidCnt struct {
+	n     int // live entries
+	large int // of which 2MB entries
+}
+
 // TLB is a translation lookaside buffer.
 type TLB struct {
 	cfg      Config
@@ -78,11 +96,29 @@ type TLB struct {
 	tick     uint64
 	stats    Stats
 
+	// Epoch invalidation state. An entry is live iff its born generation is
+	// >= deadAll and >= its address space's deadASID mark. Generations only
+	// advance on lazy bulk invalidations; normalize() rewinds everything
+	// before the uint32 counter can wrap.
+	seq      uint32
+	deadAll  uint32
+	deadASID map[memory.ASID]uint32
+	resident int // live entries (maintained, so Len is O(1))
+	perASID  map[memory.ASID]*asidCnt
+	staleInf int // dead entries still physically in inf/infLarge
+
+	// Eager restores scan-based bulk invalidation: InvalidateAll and
+	// InvalidateASID walk the structure and fire OnEvict per entry (in
+	// deterministic sorted order for infinite maps). Lazy bulk invalidation
+	// never fires OnEvict, so owners that observe individual evictions
+	// (lifetime tracking) must set Eager.
+	Eager bool
+
 	// Clock, if set, supplies the current cycle for lifetime tracking.
 	Clock func() uint64
 	// OnEvict, if set, is called when a valid entry leaves the TLB
 	// (replacement or invalidation) with the entry and its residence time
-	// in cycles.
+	// in cycles. Lazy bulk invalidations (Eager == false) skip it.
 	OnEvict func(e Entry, lifetime uint64)
 	// Trace, if set, receives a cycle-stamped "miss" event for every
 	// lookup miss, with the missing VPN as the argument. A nil emitter
@@ -141,6 +177,155 @@ func largeBase(vpn memory.VPN) memory.VPN {
 	return vpn &^ memory.VPN(memory.PagesPerLarge-1)
 }
 
+// live reports whether a valid entry survived every bulk invalidation since
+// it was inserted. Callers check valid themselves.
+func (t *TLB) live(e *Entry) bool {
+	if e.born < t.deadAll {
+		return false
+	}
+	if len(t.deadASID) != 0 {
+		if d, ok := t.deadASID[e.ASID]; ok && e.born < d {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *TLB) incCount(asid memory.ASID, large bool) {
+	t.resident++
+	if t.perASID == nil {
+		t.perASID = make(map[memory.ASID]*asidCnt)
+	}
+	c := t.perASID[asid]
+	if c == nil {
+		c = &asidCnt{}
+		t.perASID[asid] = c
+	}
+	c.n++
+	if large {
+		c.large++
+	}
+}
+
+func (t *TLB) decCount(asid memory.ASID, large bool) {
+	t.resident--
+	c := t.perASID[asid]
+	c.n--
+	if large {
+		c.large--
+	}
+	if c.n == 0 {
+		delete(t.perASID, asid)
+	}
+}
+
+// bumpGen advances the generation counter, normalizing first when the next
+// increment would wrap.
+func (t *TLB) bumpGen() uint32 {
+	if t.seq == ^uint32(0) {
+		t.normalize()
+	}
+	t.seq++
+	return t.seq
+}
+
+// normalize physically drops dead entries and rewinds every generation to
+// zero, making counter wraparound impossible to observe. Amortized cost is
+// one structure walk per 2^32 bulk invalidations.
+func (t *TLB) normalize() {
+	if t.inf != nil {
+		for k, e := range t.inf {
+			if !t.live(&e) {
+				delete(t.inf, k)
+			} else if e.born != 0 {
+				e.born = 0
+				t.inf[k] = e
+			}
+		}
+		for k, e := range t.infLarge {
+			if !t.live(&e) {
+				delete(t.infLarge, k)
+			} else if e.born != 0 {
+				e.born = 0
+				t.infLarge[k] = e
+			}
+		}
+		t.staleInf = 0
+	} else {
+		for _, set := range t.sets {
+			for i := range set {
+				if !set[i].valid {
+					continue
+				}
+				if !t.live(&set[i]) {
+					set[i].valid = false
+				} else {
+					set[i].born = 0
+				}
+			}
+		}
+	}
+	t.seq, t.deadAll = 0, 0
+	t.deadASID = nil
+}
+
+// maybeCompact bounds the dead residue in the infinite-mode maps: when dead
+// entries outnumber live ones the maps are rebuilt. Triggered only by op
+// counts, so it is deterministic.
+func (t *TLB) maybeCompact() {
+	if t.staleInf <= 64 || t.staleInf <= t.resident {
+		return
+	}
+	for k, e := range t.inf {
+		if !t.live(&e) {
+			delete(t.inf, k)
+		}
+	}
+	for k, e := range t.infLarge {
+		if !t.live(&e) {
+			delete(t.infLarge, k)
+		}
+	}
+	t.staleInf = 0
+	t.deadAll = 0
+	t.deadASID = nil
+}
+
+// infGet reads a live entry from an infinite-mode map, reclaiming a dead
+// one on touch.
+func (t *TLB) infGet(m map[key]Entry, k key) (Entry, bool) {
+	e, ok := m[k]
+	if !ok {
+		return Entry{}, false
+	}
+	if !t.live(&e) {
+		delete(m, k)
+		t.staleInf--
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// find returns the live finite-mode entry for (asid, vpn, large),
+// reclaiming a dead match on touch. vpn must be the region base for large
+// entries.
+func (t *TLB) find(asid memory.ASID, vpn memory.VPN, large bool) *Entry {
+	set := t.sets[t.setIndex(asid, vpn)]
+	for i := range set {
+		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && set[i].Large == large {
+			if !t.live(&set[i]) {
+				// Reclaim the dead slot on touch; a live entry with the
+				// same key may still follow (inserted after the bulk
+				// invalidation into another way).
+				set[i].valid = false
+				continue
+			}
+			return &set[i]
+		}
+	}
+	return nil
+}
+
 // Lookup searches for (asid, vpn), updating LRU state and hit/miss
 // counters. Both 4KB entries and covering 2MB entries hit.
 func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
@@ -148,12 +333,12 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 	if t.inf != nil {
 		// Infinite TLBs never evict by capacity, so LRU state is dead:
 		// hits are a single map read with no write-back.
-		if e, ok := t.inf[key{asid, vpn}]; ok {
+		if e, ok := t.infGet(t.inf, key{asid, vpn}); ok {
 			t.stats.Hits++
 			return e, true
 		}
 		if len(t.infLarge) > 0 {
-			if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
+			if e, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)}); ok {
 				t.stats.Hits++
 				return e, true
 			}
@@ -162,23 +347,16 @@ func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 		t.Trace.Emit("miss", uint64(vpn))
 		return Entry{}, false
 	}
-	set := t.sets[t.setIndex(asid, vpn)]
-	for i := range set {
-		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
-			set[i].lru = t.tick
-			t.stats.Hits++
-			return set[i], true
-		}
+	if e := t.find(asid, vpn, false); e != nil {
+		e.lru = t.tick
+		t.stats.Hits++
+		return *e, true
 	}
 	if t.large > 0 {
-		base := largeBase(vpn)
-		set = t.sets[t.setIndex(asid, base)]
-		for i := range set {
-			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-				set[i].lru = t.tick
-				t.stats.Hits++
-				return set[i], true
-			}
+		if e := t.find(asid, largeBase(vpn), true); e != nil {
+			e.lru = t.tick
+			t.stats.Hits++
+			return *e, true
 		}
 	}
 	t.stats.Misses++
@@ -198,12 +376,12 @@ func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, boo
 	}
 	t.tick += n
 	if t.inf != nil {
-		if e, ok := t.inf[key{asid, vpn}]; ok {
+		if e, ok := t.infGet(t.inf, key{asid, vpn}); ok {
 			t.stats.Hits += n
 			return e, true
 		}
 		if len(t.infLarge) > 0 {
-			if e, ok := t.infLarge[key{asid, largeBase(vpn)}]; ok {
+			if e, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)}); ok {
 				t.stats.Hits += n
 				return e, true
 			}
@@ -212,23 +390,16 @@ func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, boo
 		t.Trace.Emit("miss", uint64(vpn))
 		return Entry{}, false
 	}
-	set := t.sets[t.setIndex(asid, vpn)]
-	for i := range set {
-		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
-			set[i].lru = t.tick
-			t.stats.Hits += n
-			return set[i], true
-		}
+	if e := t.find(asid, vpn, false); e != nil {
+		e.lru = t.tick
+		t.stats.Hits += n
+		return *e, true
 	}
 	if t.large > 0 {
-		base := largeBase(vpn)
-		set = t.sets[t.setIndex(asid, base)]
-		for i := range set {
-			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-				set[i].lru = t.tick
-				t.stats.Hits += n
-				return set[i], true
-			}
+		if e := t.find(asid, largeBase(vpn), true); e != nil {
+			e.lru = t.tick
+			t.stats.Hits += n
+			return *e, true
 		}
 	}
 	t.stats.Misses += n
@@ -240,26 +411,17 @@ func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, boo
 // covering 2MB entry) without disturbing LRU or counters.
 func (t *TLB) Probe(asid memory.ASID, vpn memory.VPN) bool {
 	if t.inf != nil {
-		if _, ok := t.inf[key{asid, vpn}]; ok {
+		if _, ok := t.infGet(t.inf, key{asid, vpn}); ok {
 			return true
 		}
-		_, ok := t.infLarge[key{asid, largeBase(vpn)}]
+		_, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)})
 		return ok
 	}
-	set := t.sets[t.setIndex(asid, vpn)]
-	for i := range set {
-		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
-			return true
-		}
+	if t.find(asid, vpn, false) != nil {
+		return true
 	}
-	if t.large > 0 {
-		base := largeBase(vpn)
-		set = t.sets[t.setIndex(asid, base)]
-		for i := range set {
-			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-				return true
-			}
-		}
+	if t.large > 0 && t.find(asid, largeBase(vpn), true) != nil {
+		return true
 	}
 	return false
 }
@@ -283,34 +445,45 @@ func (t *TLB) insert(e Entry) {
 	e.valid = true
 	e.lru = t.tick
 	e.insertedAt = t.now()
+	e.born = t.seq
 	asid, vpn := e.ASID, e.VPN
 	if t.inf != nil {
+		m := t.inf
 		if e.Large {
-			t.infLarge[key{asid, vpn}] = e
-		} else {
-			t.inf[key{asid, vpn}] = e
+			m = t.infLarge
 		}
+		k := key{asid, vpn}
+		if old, ok := m[k]; !ok {
+			t.incCount(asid, e.Large)
+		} else if !t.live(&old) {
+			t.staleInf--
+			t.incCount(asid, e.Large)
+		}
+		m[k] = e
 		return
 	}
 	set := t.sets[t.setIndex(asid, vpn)]
-	victim := 0
+	victim, vfree := 0, false
 	for i := range set {
-		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && set[i].Large == e.Large {
-			keep := set[i].insertedAt
-			set[i] = e
-			set[i].insertedAt = keep
+		li := &set[i]
+		free := !li.valid || !t.live(li)
+		if !free && li.ASID == asid && li.VPN == vpn && li.Large == e.Large {
+			keep := li.insertedAt
+			*li = e
+			li.insertedAt = keep
 			return
 		}
-		if !set[i].valid {
-			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
+		if free {
+			victim, vfree = i, true
+		} else if !vfree && li.lru < set[victim].lru {
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	if set[victim].valid && t.live(&set[victim]) {
 		t.evict(&set[victim])
 	}
 	set[victim] = e
+	t.incCount(asid, e.Large)
 	if e.Large {
 		t.large++
 	}
@@ -331,6 +504,24 @@ func (t *TLB) evict(e *Entry) {
 	if e.Large {
 		t.large--
 	}
+	t.decCount(e.ASID, e.Large)
+}
+
+// dropInf removes an infinite-mode entry by key, reporting whether a live
+// entry was evicted.
+func (t *TLB) dropInf(m map[key]Entry, k key) bool {
+	e, ok := m[k]
+	if !ok {
+		return false
+	}
+	delete(m, k)
+	if !t.live(&e) {
+		t.staleInf--
+		return false
+	}
+	t.evictNotify(e)
+	t.decCount(e.ASID, e.Large)
+	return true
 }
 
 // InvalidatePage drops the entry translating (asid, vpn) if present —
@@ -338,107 +529,163 @@ func (t *TLB) evict(e *Entry) {
 // Used for single-entry TLB shootdowns.
 func (t *TLB) InvalidatePage(asid memory.ASID, vpn memory.VPN) bool {
 	t.stats.Shootdowns++
+	return t.dropPage(asid, vpn)
+}
+
+// InvalidatePages drops a batch of pages for one address space as a single
+// shootdown message (one Shootdowns count regardless of batch length),
+// returning the number of entries dropped.
+func (t *TLB) InvalidatePages(asid memory.ASID, vpns []memory.VPN) int {
+	t.stats.Shootdowns++
+	n := 0
+	for _, vpn := range vpns {
+		if t.dropPage(asid, vpn) {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *TLB) dropPage(asid memory.ASID, vpn memory.VPN) bool {
 	hit := false
 	if t.inf != nil {
-		k := key{asid, vpn}
-		if e, ok := t.inf[k]; ok {
-			t.evictNotify(e)
-			delete(t.inf, k)
+		if t.dropInf(t.inf, key{asid, vpn}) {
 			hit = true
 		}
-		lk := key{asid, largeBase(vpn)}
-		if e, ok := t.infLarge[lk]; ok {
-			t.evictNotify(e)
-			delete(t.infLarge, lk)
+		if t.dropInf(t.infLarge, key{asid, largeBase(vpn)}) {
 			hit = true
 		}
 		return hit
 	}
-	set := t.sets[t.setIndex(asid, vpn)]
-	for i := range set {
-		if set[i].valid && set[i].ASID == asid && set[i].VPN == vpn && !set[i].Large {
-			t.evict(&set[i])
-			hit = true
-		}
+	if e := t.find(asid, vpn, false); e != nil {
+		t.evict(e)
+		hit = true
 	}
 	if t.large > 0 {
-		base := largeBase(vpn)
-		set = t.sets[t.setIndex(asid, base)]
-		for i := range set {
-			if set[i].valid && set[i].Large && set[i].ASID == asid && set[i].VPN == base {
-				t.evict(&set[i])
-				hit = true
-			}
+		if e := t.find(asid, largeBase(vpn), true); e != nil {
+			t.evict(e)
+			hit = true
 		}
 	}
 	return hit
 }
 
-// InvalidateAll flushes every entry (all-entry shootdown).
-func (t *TLB) InvalidateAll() {
-	t.stats.Shootdowns++
-	if t.inf != nil {
-		for k, e := range t.inf {
-			t.evictNotify(e)
-			delete(t.inf, k)
-		}
-		for k, e := range t.infLarge {
-			t.evictNotify(e)
-			delete(t.infLarge, k)
-		}
-		return
-	}
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				t.evict(&set[i])
-			}
+// sortedInfKeys returns m's keys ordered by (asid, vpn) so eager
+// infinite-mode flushes evict in a deterministic order instead of Go map
+// order.
+func sortedInfKeys(m map[key]Entry, asid memory.ASID, all bool) []key {
+	ks := make([]key, 0, len(m))
+	for k := range m {
+		if all || k.asid == asid {
+			ks = append(ks, k)
 		}
 	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].asid != ks[j].asid {
+			return ks[i].asid < ks[j].asid
+		}
+		return ks[i].vpn < ks[j].vpn
+	})
+	return ks
 }
 
-// InvalidateASID flushes all entries belonging to one address space.
-func (t *TLB) InvalidateASID(asid memory.ASID) {
+// InvalidateAll flushes every entry (all-entry shootdown), returning how
+// many live entries were dropped. Lazy unless Eager is set: one generation
+// bump (or a fresh map in infinite mode) retires everything at once.
+func (t *TLB) InvalidateAll() int {
 	t.stats.Shootdowns++
+	n := t.resident
+	if t.Eager {
+		if t.inf != nil {
+			for _, k := range sortedInfKeys(t.inf, 0, true) {
+				t.dropInf(t.inf, k)
+			}
+			for _, k := range sortedInfKeys(t.infLarge, 0, true) {
+				t.dropInf(t.infLarge, k)
+			}
+			return n
+		}
+		for _, set := range t.sets {
+			for i := range set {
+				if set[i].valid && t.live(&set[i]) {
+					t.evict(&set[i])
+				}
+			}
+		}
+		return n
+	}
 	if t.inf != nil {
-		for k, e := range t.inf {
-			if k.asid == asid {
-				t.evictNotify(e)
-				delete(t.inf, k)
-			}
+		if len(t.inf)+len(t.infLarge) > 0 {
+			t.inf = make(map[key]Entry)
+			t.infLarge = make(map[key]Entry)
 		}
-		for k, e := range t.infLarge {
-			if k.asid == asid {
-				t.evictNotify(e)
-				delete(t.infLarge, k)
-			}
-		}
-		return
+		t.staleInf = 0
+		t.deadAll = 0
+		t.deadASID = nil
+	} else if n > 0 {
+		t.deadAll = t.bumpGen()
+		t.deadASID = nil
 	}
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid && set[i].ASID == asid {
-				t.evict(&set[i])
-			}
-		}
-	}
-}
-
-// Len returns the number of valid entries currently resident.
-func (t *TLB) Len() int {
-	if t.inf != nil {
-		return len(t.inf) + len(t.infLarge)
-	}
-	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
-		}
+	if n > 0 {
+		t.stats.Evictions += uint64(n)
+		t.resident = 0
+		t.large = 0
+		t.perASID = nil
 	}
 	return n
 }
+
+// InvalidateASID flushes all entries belonging to one address space,
+// returning how many were dropped. Lazy unless Eager is set.
+func (t *TLB) InvalidateASID(asid memory.ASID) int {
+	t.stats.Shootdowns++
+	c := t.perASID[asid]
+	n := 0
+	if c != nil {
+		n = c.n
+	}
+	if t.Eager {
+		if t.inf != nil {
+			for _, k := range sortedInfKeys(t.inf, asid, false) {
+				t.dropInf(t.inf, k)
+			}
+			for _, k := range sortedInfKeys(t.infLarge, asid, false) {
+				t.dropInf(t.infLarge, k)
+			}
+			return n
+		}
+		for _, set := range t.sets {
+			for i := range set {
+				if set[i].valid && set[i].ASID == asid && t.live(&set[i]) {
+					t.evict(&set[i])
+				}
+			}
+		}
+		return n
+	}
+	if n == 0 {
+		return 0
+	}
+	t.stats.Evictions += uint64(n)
+	t.resident -= n
+	if t.inf == nil {
+		t.large -= c.large
+	}
+	delete(t.perASID, asid)
+	g := t.bumpGen()
+	if t.deadASID == nil {
+		t.deadASID = make(map[memory.ASID]uint32)
+	}
+	t.deadASID[asid] = g
+	if t.inf != nil {
+		t.staleInf += n
+		t.maybeCompact()
+	}
+	return n
+}
+
+// Len returns the number of live entries currently resident.
+func (t *TLB) Len() int { return t.resident }
 
 func (t *TLB) String() string {
 	if t.cfg.Infinite() {
