@@ -73,13 +73,22 @@ func main() {
 		fatal(err)
 	}
 
-	// Micro benchmarks: engine, caches, TLBs — fast, default benchtime.
-	micro := []string{"./internal/sim", "./internal/cache", "./internal/tlb", "./internal/core"}
+	// Micro benchmarks: engine, caches, TLBs, flat tables — fast, default
+	// benchtime.
+	micro := []string{"./internal/sim", "./internal/cache", "./internal/tlb", "./internal/core", "./internal/flatmap"}
 	args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem"}
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
 	if err := runBench(&snap, append(args, micro...)); err != nil {
+		fatal(err)
+	}
+	recordFlatMapSpeedup(&snap)
+
+	// Infinite-mode scaled run: the translation structures are unbounded
+	// flat tables here, so this end-to-end events/s point is the one the
+	// flat-table change moves.
+	if err := infiniteTLBBench(&snap, *quick); err != nil {
 		fatal(err)
 	}
 
@@ -168,6 +177,75 @@ func recordChurnSpeedup(snap *Snapshot) {
 		Name: "ChurnFlushSpeedup", Package: "vcache/bench", Iterations: 1,
 		Metrics: map[string]float64{"speedup": speedup},
 	})
+}
+
+// recordFlatMapSpeedup folds the BenchmarkFlatMap arms into synthetic
+// entries carrying the flat-table-over-builtin-map speedup per access
+// pattern — the miss entry is the number the flat-table acceptance
+// criteria bound (>= 1.5x on the miss-heavy infinite-mode pattern).
+func recordFlatMapSpeedup(snap *Snapshot) {
+	ns := map[string]float64{}
+	for _, b := range snap.Benchmarks {
+		if i := strings.Index(b.Name, "BenchmarkFlatMap/"); i >= 0 {
+			ns[b.Name[i+len("BenchmarkFlatMap/"):]] = b.Metrics["ns/op"]
+		}
+	}
+	for _, pattern := range []string{"hit", "miss", "churn"} {
+		flat, ref := ns[pattern+"/flat"], ns[pattern+"/map"]
+		if flat <= 0 || ref <= 0 {
+			continue
+		}
+		speedup := ref / flat
+		fmt.Fprintf(os.Stderr, "flatmap %-5s: flat %.1fns, map %.1fns (%.2fx)\n",
+			pattern, flat, ref, speedup)
+		snap.Benchmarks = append(snap.Benchmarks, Benchmark{
+			Name: "FlatMapSpeedup/" + pattern, Package: "vcache/bench", Iterations: 1,
+			Metrics: map[string]float64{"speedup": speedup},
+		})
+	}
+}
+
+// infiniteTLBBench records end-to-end simulated events/s for a scaled run
+// with infinite per-CU TLBs — the configuration whose translation state
+// lives entirely in the flat epoch-aware tables (every page resident, every
+// lookup a table probe).
+func infiniteTLBBench(snap *Snapshot, quick bool) error {
+	dir, err := os.MkdirTemp("", "vcache-bench-inf-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	vcsim := filepath.Join(dir, "vcsim")
+	if out, err := exec.Command("go", "build", "-o", vcsim, "./cmd/vcsim").CombinedOutput(); err != nil {
+		return fmt.Errorf("building vcsim: %v\n%s", err, out)
+	}
+	scale := 10
+	if quick {
+		scale = 1
+	}
+	args := []string{"-workload", "pagerank", "-design", "baseline-512",
+		"-tlb-entries", "0", "-no-cache", "-scale", strconv.Itoa(scale)}
+	cmd := exec.Command(vcsim, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("vcsim %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	wall := time.Since(start)
+	evps := parseEventsPerSec(stderr.String())
+	fmt.Fprintf(os.Stderr, "infinite tlb: pagerank scale=%d events/s=%.1fM wall=%.2fs\n",
+		scale, evps/1e6, wall.Seconds())
+	snap.Benchmarks = append(snap.Benchmarks, Benchmark{
+		Name:       fmt.Sprintf("InfiniteTLBRun/pagerank/scale=%d", scale),
+		Package:    "vcache/bench",
+		Iterations: 1,
+		Metrics: map[string]float64{
+			"s/op":           wall.Seconds(),
+			"events_per_sec": evps,
+		},
+	})
+	return nil
 }
 
 // suiteCacheTimes measures the artifact cache's effect on the full

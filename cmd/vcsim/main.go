@@ -96,6 +96,7 @@ func main() {
 	cus := flag.Int("cus", 16, "number of compute units")
 	warps := flag.Int("warps", 8, "warp contexts per CU")
 	probe := flag.Bool("probe", false, "classify TLB misses by data residency (Figure 2)")
+	tlbEntries := flag.Int("tlb-entries", -1, "override per-CU TLB entries (0 = infinite, -1 = design default)")
 	iommubw := flag.Int("iommubw", -1, "override IOMMU lookups/cycle (0 = unlimited)")
 	largePages := flag.Bool("largepages", false, "back the workload with 2MB pages")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when several designs are given")
@@ -149,6 +150,9 @@ func main() {
 		cfg.ProbeResidency = *probe
 		cfg.LargePages = *largePages
 		cfg.BatchedTranslation = *batched
+		if *tlbEntries >= 0 {
+			cfg = cfg.WithPerCUTLB(*tlbEntries)
+		}
 		if *iommubw >= 0 {
 			cfg = cfg.WithIOMMUBandwidth(*iommubw)
 		}

@@ -19,6 +19,7 @@ package cache
 import (
 	"fmt"
 
+	"vcache/internal/flatmap"
 	"vcache/internal/memory"
 )
 
@@ -138,15 +139,14 @@ type Cache struct {
 	tick      uint64
 	stats     Stats
 
-	// Epoch invalidation state: a line is live iff born >= deadAll and
-	// >= its address space's deadASID mark. normalize() rewinds the
-	// generations before the counter can wrap.
-	seq      uint32
-	deadAll  uint32
-	deadASID map[memory.ASID]uint32
-	resident int // live lines (maintained, so Resident is O(1))
-	dirty    int // live dirty lines
-	perASID  map[memory.ASID]*asidCnt
+	// Epoch invalidation state: a line is live iff its born generation
+	// survives every death mark in ep. normalize() rewinds the generations
+	// before the counter can wrap.
+	ep       flatmap.Epoch
+	resident int                   // live lines (maintained, so Resident is O(1))
+	dirty    int                   // live dirty lines
+	perASID  flatmap.Map[asidCnt]  // keyed by uint64(asid)
+	pages    flatmap.Map[struct{}] // reusable DistinctPages scratch
 
 	// Eager restores scan-based bulk invalidation: InvalidateAll and
 	// InvalidateASID walk every line and fire OnEvict per line. Lazy bulk
@@ -214,27 +214,12 @@ func (c *Cache) setIndex(addr uint64) int {
 // live reports whether a valid line survived every bulk invalidation since
 // it was filled. Callers check Valid themselves.
 func (c *Cache) live(l *Line) bool {
-	if l.born < c.deadAll {
-		return false
-	}
-	if len(c.deadASID) != 0 {
-		if d, ok := c.deadASID[l.ASID]; ok && l.born < d {
-			return false
-		}
-	}
-	return true
+	return c.ep.Live(uint16(l.ASID), l.born)
 }
 
 func (c *Cache) incCount(asid memory.ASID, dirty bool) {
 	c.resident++
-	if c.perASID == nil {
-		c.perASID = make(map[memory.ASID]*asidCnt)
-	}
-	ac := c.perASID[asid]
-	if ac == nil {
-		ac = &asidCnt{}
-		c.perASID[asid] = ac
-	}
+	ac := c.perASID.Upsert(uint64(asid))
 	ac.n++
 	if dirty {
 		c.dirty++
@@ -244,14 +229,14 @@ func (c *Cache) incCount(asid memory.ASID, dirty bool) {
 
 func (c *Cache) decCount(asid memory.ASID, dirty bool) {
 	c.resident--
-	ac := c.perASID[asid]
+	ac := c.perASID.Ref(uint64(asid))
 	ac.n--
 	if dirty {
 		c.dirty--
 		ac.dirty--
 	}
 	if ac.n == 0 {
-		delete(c.perASID, asid)
+		c.perASID.Delete(uint64(asid))
 	}
 }
 
@@ -262,17 +247,16 @@ func (c *Cache) markDirty(l *Line) {
 	}
 	l.Dirty = true
 	c.dirty++
-	c.perASID[l.ASID].dirty++
+	c.perASID.Ref(uint64(l.ASID)).dirty++
 }
 
 // bumpGen advances the generation counter, normalizing first when the next
 // increment would wrap.
 func (c *Cache) bumpGen() uint32 {
-	if c.seq == ^uint32(0) {
+	if c.ep.AtMax() {
 		c.normalize()
 	}
-	c.seq++
-	return c.seq
+	return c.ep.Bump()
 }
 
 // normalize physically drops dead lines and rewinds every generation to
@@ -290,8 +274,7 @@ func (c *Cache) normalize() {
 			}
 		}
 	}
-	c.seq, c.deadAll = 0, 0
-	c.deadASID = nil
+	c.ep.Reset()
 }
 
 func (c *Cache) find(addr uint64) *Line {
@@ -386,7 +369,7 @@ func (c *Cache) Fill(addr uint64, perm memory.Perm, asid memory.ASID, dirty bool
 		c.evict(&set[victim])
 	}
 	now := c.now()
-	set[victim] = Line{Addr: la, Valid: true, Dirty: dirty, Perm: perm, ASID: asid, lru: c.tick, insertedAt: now, lastAccess: now, born: c.seq}
+	set[victim] = Line{Addr: la, Valid: true, Dirty: dirty, Perm: perm, ASID: asid, lru: c.tick, insertedAt: now, lastAccess: now, born: c.ep.Gen()}
 	c.incCount(asid, dirty)
 	return evicted, evictedValid
 }
@@ -459,11 +442,10 @@ func (c *Cache) InvalidateAll() int {
 	c.stats.Invalidated += uint64(n)
 	c.stats.Evictions += uint64(n)
 	c.stats.Writebacks += uint64(c.dirty)
-	c.deadAll = c.bumpGen()
-	c.deadASID = nil
+	c.ep.MarkDeadAll(c.bumpGen())
 	c.resident = 0
 	c.dirty = 0
-	c.perASID = nil
+	c.perASID.Reset()
 	return n
 }
 
@@ -471,10 +453,9 @@ func (c *Cache) InvalidateAll() int {
 // rollover on a virtually-tagged cache), returning the number dropped.
 // Lazy unless Eager is set.
 func (c *Cache) InvalidateASID(asid memory.ASID) int {
-	ac := c.perASID[asid]
-	n := 0
-	if ac != nil {
-		n = ac.n
+	n, nDirty := 0, 0
+	if ac := c.perASID.Ref(uint64(asid)); ac != nil {
+		n, nDirty = ac.n, ac.dirty
 	}
 	if c.Eager {
 		for si := range c.sets {
@@ -493,15 +474,11 @@ func (c *Cache) InvalidateASID(asid memory.ASID) int {
 	}
 	c.stats.Invalidated += uint64(n)
 	c.stats.Evictions += uint64(n)
-	c.stats.Writebacks += uint64(ac.dirty)
+	c.stats.Writebacks += uint64(nDirty)
 	c.resident -= n
-	c.dirty -= ac.dirty
-	delete(c.perASID, asid)
-	g := c.bumpGen()
-	if c.deadASID == nil {
-		c.deadASID = make(map[memory.ASID]uint32)
-	}
-	c.deadASID[asid] = g
+	c.dirty -= nDirty
+	c.perASID.Delete(uint64(asid))
+	c.ep.MarkDeadASID(uint16(asid), c.bumpGen())
 	return n
 }
 
@@ -520,17 +497,19 @@ func (c *Cache) LinesInPage(pageAddr uint64) int {
 }
 
 // DistinctPages counts the distinct 4KB pages with at least one resident
-// line (the paper reports ~6000 for a 2MB L2).
+// line (the paper reports ~6000 for a 2MB L2). The scratch set is reused
+// across calls, so the figure/metrics loops that poll it per interval stop
+// allocating once it has warmed up.
 func (c *Cache) DistinctPages() int {
-	pages := make(map[uint64]struct{})
+	c.pages.Reset()
 	for _, set := range c.sets {
 		for i := range set {
 			if set[i].Valid && c.live(&set[i]) {
-				pages[set[i].Addr>>memory.PageShift] = struct{}{}
+				c.pages.Put(set[i].Addr>>memory.PageShift, struct{}{})
 			}
 		}
 	}
-	return len(pages)
+	return c.pages.Len()
 }
 
 // Resident returns the number of valid lines.
@@ -543,7 +522,7 @@ func (c *Cache) DirtyLines() int { return c.dirty }
 // ASIDResident returns the live line and dirty-line counts for one address
 // space, without scanning.
 func (c *Cache) ASIDResident(asid memory.ASID) (lines, dirty int) {
-	if ac := c.perASID[asid]; ac != nil {
+	if ac := c.perASID.Ref(uint64(asid)); ac != nil {
 		return ac.n, ac.dirty
 	}
 	return 0, 0

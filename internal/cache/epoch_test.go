@@ -81,14 +81,14 @@ func TestLazyEagerCacheParityFuzz(t *testing.T) {
 // ceiling: normalize must rewind live lines without changing visibility.
 func TestCacheGenerationWraparound(t *testing.T) {
 	c := New(Config{SizeBytes: 2048, LineBytes: 64, Assoc: 4, Policy: WriteBack})
-	c.seq = ^uint32(0) - 1
+	c.ep.SetGen(^uint32(0) - 1)
 	c.Fill(0x1000, memory.PermRead, 1, false)
 	c.Fill(0x2000, memory.PermRead, 2, true)
 	c.InvalidateASID(1) // seq -> max
 	c.Fill(0x3000, memory.PermRead, 1, false)
 	c.InvalidateASID(2) // would wrap: normalize runs first
-	if c.seq != 1 {
-		t.Fatalf("seq after wrap = %d, want 1", c.seq)
+	if c.ep.Gen() != 1 {
+		t.Fatalf("seq after wrap = %d, want 1", c.ep.Gen())
 	}
 	if c.Probe(0x1000) || c.Probe(0x2000) {
 		t.Fatal("invalidated lines visible across the wrap")

@@ -14,17 +14,20 @@
 // synonym checks arrive physical, while shootdowns, L2 evictions, and the
 // FBT-as-second-level-TLB optimization arrive virtual.
 //
-// Bulk flushes (FlushAll / FlushASID) are epoch-based by default: a
-// generation bump retires every targeted entry at once (FlushAll also
-// swaps in a fresh FT), dead entries are reclaimed when next touched, and
-// a live-entry count keeps Len() exact. The eager scan paths survive
-// behind the Eager flag; only eager flushes fire OnEvict per entry, so the
-// owner on the lazy path performs the cache invalidations in aggregate.
+// The FT is a flat open-addressing table from packed (asid, vpn) keys to
+// BT way indices — no per-entry heap allocation, and inserts into a
+// presized table never allocate. Bulk flushes (FlushAll / FlushASID) are
+// epoch-based by default: a generation bump retires every targeted entry at
+// once, and dead entries — in the BT and the FT alike — are reclaimed when
+// next touched by a probe. The eager scan paths survive behind the Eager
+// flag; only eager flushes fire OnEvict per entry, so the owner on the lazy
+// path performs the cache invalidations in aggregate.
 package fbt
 
 import (
 	"fmt"
 
+	"vcache/internal/flatmap"
 	"vcache/internal/memory"
 	"vcache/internal/obs"
 )
@@ -93,11 +96,6 @@ type entry struct {
 	born       uint32 // generation at allocation (epoch invalidation)
 }
 
-type ftKey struct {
-	asid memory.ASID
-	vpn  memory.VPN
-}
-
 // Stats counts FBT activity.
 type Stats struct {
 	PPNLookups         uint64
@@ -118,19 +116,18 @@ type Stats struct {
 type FBT struct {
 	cfg  Config
 	sets [][]entry
-	ft   map[ftKey]*entry
+	ft   flatmap.Map[int32] // packed (asid, lvpn) -> global BT way index
 	tick uint64
 	st   Stats
 
-	// Epoch invalidation state: an entry is live iff born >= deadAll and
-	// >= its address space's deadASID mark. normalize() rewinds the
-	// generations before the counter can wrap.
-	seq      uint32
-	deadAll  uint32
-	deadASID map[memory.ASID]uint32
-	live     int // live entries (maintained, so Len is O(1))
-	perASID  map[memory.ASID]int
-	staleFT  int // FT pointers to dead entries (FlushASID residue)
+	// Epoch invalidation state: an entry is live iff its born generation
+	// survives every death mark in ep. FT entries are born at the same
+	// generation as the BT entry they point to, so both die together and
+	// the FT reclaims its own residue on the probe path. normalize()
+	// rewinds the generations before the counter can wrap.
+	ep      flatmap.Epoch
+	live    int              // live entries (maintained, so Len is O(1))
+	perASID flatmap.Map[int] // keyed by uint64(asid)
 
 	// Eager restores scan-based bulk flushes: FlushAll and FlushASID walk
 	// the table and fire OnEvict per entry. Lazy flushes (the default)
@@ -150,6 +147,11 @@ type FBT struct {
 	Trace *obs.Emitter
 }
 
+// ftKey packs a forward-table key.
+func ftKey(asid memory.ASID, vpn memory.VPN) uint64 {
+	return flatmap.Key(uint16(asid), uint64(vpn))
+}
+
 // New builds an FBT.
 func New(cfg Config) *FBT {
 	if cfg.Assoc <= 0 || cfg.Assoc > cfg.Entries {
@@ -159,11 +161,15 @@ func New(cfg Config) *FBT {
 	if sets < 1 {
 		sets = 1
 	}
-	f := &FBT{cfg: cfg, ft: make(map[ftKey]*entry)}
+	f := &FBT{cfg: cfg}
 	f.sets = make([][]entry, sets)
 	for i := range f.sets {
 		f.sets[i] = make([]entry, cfg.Assoc)
 	}
+	f.ft.Init(&f.ep)
+	// Presize the FT for the BT's capacity: steady-state allocations then
+	// never grow the table, so the insert path stays allocation-free.
+	f.ft.Grow(sets * cfg.Assoc)
 	return f
 }
 
@@ -177,39 +183,31 @@ func (f *FBT) setIndex(ppn memory.PPN) int {
 	return int(uint64(ppn) % uint64(len(f.sets)))
 }
 
+// entryAt resolves a global way index (set*assoc + way) from the FT.
+func (f *FBT) entryAt(idx int32) *entry {
+	return &f.sets[int(idx)/f.cfg.Assoc][int(idx)%f.cfg.Assoc]
+}
+
 // liveE reports whether a valid entry survived every bulk flush since it
 // was allocated. Callers check valid themselves.
 func (f *FBT) liveE(e *entry) bool {
-	if e.born < f.deadAll {
-		return false
-	}
-	if len(f.deadASID) != 0 {
-		if d, ok := f.deadASID[e.ASID]; ok && e.born < d {
-			return false
-		}
-	}
-	return true
+	return f.ep.Live(uint16(e.ASID), e.born)
 }
 
-// reclaim frees a dead entry's slot, dropping its FT pointer if one still
-// dangles from a lazy FlushASID.
+// reclaim frees a dead entry's BT slot. Its FT entry (if not already
+// overwritten by a newer allocation) was born at the same generation, so it
+// is equally dead and the FT reclaims it on its own probe path.
 func (f *FBT) reclaim(e *entry) {
 	e.valid = false
-	k := ftKey{e.ASID, e.LVPN}
-	if f.ft[k] == e {
-		delete(f.ft, k)
-		f.staleFT--
-	}
 }
 
 // bumpGen advances the generation counter, normalizing first when the next
 // increment would wrap.
 func (f *FBT) bumpGen() uint32 {
-	if f.seq == ^uint32(0) {
+	if f.ep.AtMax() {
 		f.normalize()
 	}
-	f.seq++
-	return f.seq
+	return f.ep.Bump()
 }
 
 // normalize physically drops dead entries and rewinds every generation to
@@ -228,24 +226,8 @@ func (f *FBT) normalize() {
 			}
 		}
 	}
-	f.staleFT = 0
-	f.seq, f.deadAll = 0, 0
-	f.deadASID = nil
-}
-
-// maybeCompactFT bounds the dead residue in the FT after lazy FlushASID
-// calls: when dangling pointers outnumber live entries the dead ones are
-// pruned. Triggered only by op counts, so it is deterministic.
-func (f *FBT) maybeCompactFT() {
-	if f.staleFT <= 64 || f.staleFT <= f.live {
-		return
-	}
-	for k, e := range f.ft {
-		if !e.valid || !f.liveE(e) {
-			delete(f.ft, k)
-		}
-	}
-	f.staleFT = 0
+	f.ft.Normalize()
+	f.ep.Reset()
 }
 
 func (f *FBT) findPPN(ppn memory.PPN) *entry {
@@ -264,15 +246,15 @@ func (f *FBT) findPPN(ppn memory.PPN) *entry {
 	return nil
 }
 
-// ftGet returns the live BT entry whose leading virtual page is k,
-// reclaiming a dead one on touch.
-func (f *FBT) ftGet(k ftKey) *entry {
-	e, ok := f.ft[k]
-	if !ok || !e.valid {
+// ftGet returns the live BT entry whose leading virtual page is (asid,
+// vpn), letting the flat table reclaim dead residue on its probe path.
+func (f *FBT) ftGet(asid memory.ASID, vpn memory.VPN) *entry {
+	idx, ok := f.ft.Get(ftKey(asid, vpn))
+	if !ok {
 		return nil
 	}
-	if !f.liveE(e) {
-		f.reclaim(e)
+	e := f.entryAt(idx)
+	if !e.valid || e.ASID != asid || e.LVPN != vpn || !f.liveE(e) {
 		return nil
 	}
 	return e
@@ -336,7 +318,8 @@ func (f *FBT) Allocate(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, perm me
 	}
 	f.st.Allocations++
 	f.tick++
-	set := f.sets[f.setIndex(ppn)]
+	si := f.setIndex(ppn)
+	set := f.sets[si]
 	victim := -1
 	for i := range set {
 		if !set[i].valid || !f.liveE(&set[i]) {
@@ -364,30 +347,24 @@ func (f *FBT) Allocate(ppn memory.PPN, asid memory.ASID, vpn memory.VPN, perm me
 		View:  View{PPN: ppn, ASID: asid, LVPN: vpn, Perm: perm, Written: written},
 		valid: true,
 		lru:   f.tick,
-		born:  f.seq,
+		born:  f.ep.Gen(),
 	}
-	k := ftKey{asid, vpn}
-	if old, ok := f.ft[k]; ok && old != &set[victim] && (!old.valid || !f.liveE(old)) {
-		f.staleFT--
-	}
-	f.ft[k] = &set[victim]
+	f.ft.Put(ftKey(asid, vpn), int32(si*f.cfg.Assoc+victim))
 	f.live++
-	if f.perASID == nil {
-		f.perASID = make(map[memory.ASID]int)
-	}
-	f.perASID[asid]++
+	p := f.perASID.Upsert(uint64(asid))
+	*p++
 	return set[victim].View
 }
 
 func (f *FBT) evict(e *entry) {
 	f.st.Evictions++
-	delete(f.ft, ftKey{e.ASID, e.LVPN})
+	f.ft.Delete(ftKey(e.ASID, e.LVPN))
 	e.valid = false
 	f.live--
-	if n := f.perASID[e.ASID] - 1; n == 0 {
-		delete(f.perASID, e.ASID)
-	} else {
-		f.perASID[e.ASID] = n
+	p := f.perASID.Ref(uint64(e.ASID))
+	*p--
+	if *p == 0 {
+		f.perASID.Delete(uint64(e.ASID))
 	}
 	if f.OnEvict != nil {
 		f.OnEvict(e.View)
@@ -407,7 +384,7 @@ func (f *FBT) SetLine(ppn memory.PPN, idx int) bool {
 // (asid, vpn) — the FT path used on L2 evictions, which carry virtual
 // addresses. It reports whether an entry was found.
 func (f *FBT) ClearLine(asid memory.ASID, vpn memory.VPN, idx int) bool {
-	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
+	if e := f.ftGet(asid, vpn); e != nil {
 		e.BitVec &^= 1 << uint(idx)
 		return true
 	}
@@ -426,7 +403,7 @@ func (f *FBT) MarkWritten(ppn memory.PPN) {
 // virtual page (L2 write hits carry no physical address; the FT resolves
 // them).
 func (f *FBT) MarkWrittenVPN(asid memory.ASID, vpn memory.VPN) {
-	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
+	if e := f.ftGet(asid, vpn); e != nil {
 		e.Written = true
 	}
 }
@@ -436,7 +413,7 @@ func (f *FBT) MarkWrittenVPN(asid memory.ASID, vpn memory.VPN) {
 // with a live BT entry. This is the paper's "VC With OPT" path that removes
 // most page-table walks after shared-TLB misses.
 func (f *FBT) TranslateVPN(asid memory.ASID, vpn memory.VPN) (memory.PPN, memory.Perm, bool) {
-	if e := f.ftGet(ftKey{asid, vpn}); e != nil {
+	if e := f.ftGet(asid, vpn); e != nil {
 		f.st.SecondaryTLBHits++
 		f.tick++
 		e.lru = f.tick
@@ -451,7 +428,7 @@ func (f *FBT) TranslateVPN(asid memory.ASID, vpn memory.VPN) (memory.PPN, memory
 // invalidations), and the shootdown is acknowledged; otherwise the FT
 // filters the request. It reports whether invalidation work was needed.
 func (f *FBT) Shootdown(asid memory.ASID, vpn memory.VPN) bool {
-	e := f.ftGet(ftKey{asid, vpn})
+	e := f.ftGet(asid, vpn)
 	if e == nil {
 		f.st.ShootdownsFiltered++
 		return false
@@ -490,7 +467,7 @@ func (f *FBT) FilterProbe(pa memory.PAddr) (memory.VAddr, memory.ASID, bool) {
 
 // FlushAll evicts every entry (all-entry shootdown: full cache flush),
 // returning the live count dropped. Lazy unless Eager is set: one
-// generation bump plus a fresh FT retires the whole table at once.
+// generation bump plus an FT reset retires the whole table at once.
 func (f *FBT) FlushAll() int {
 	n := f.live
 	if f.Eager {
@@ -504,27 +481,28 @@ func (f *FBT) FlushAll() int {
 		}
 		return n
 	}
-	if n == 0 && f.staleFT == 0 {
+	if n == 0 && f.ft.Len() == 0 {
 		return 0
 	}
 	f.st.Evictions += uint64(n)
-	f.ft = make(map[ftKey]*entry)
-	f.staleFT = 0
+	f.ft.Reset()
 	if n > 0 {
-		f.deadAll = f.bumpGen()
-		f.deadASID = nil
+		f.ep.MarkDeadAll(f.bumpGen())
 	}
 	f.live = 0
-	f.perASID = nil
+	f.perASID.Reset()
 	return n
 }
 
 // FlushASID evicts every entry belonging to one address space (ASID
 // rollover), returning the count dropped. Lazy unless Eager is set; the
-// dead entries' FT pointers are pruned when touched or when they outnumber
-// live entries.
+// dead entries — BT slots and FT residue alike — are reclaimed when a
+// probe next walks over them.
 func (f *FBT) FlushASID(asid memory.ASID) int {
-	n := f.perASID[asid]
+	n := 0
+	if p := f.perASID.Ref(uint64(asid)); p != nil {
+		n = *p
+	}
 	if f.Eager {
 		for si := range f.sets {
 			set := f.sets[si]
@@ -541,14 +519,8 @@ func (f *FBT) FlushASID(asid memory.ASID) int {
 	}
 	f.st.Evictions += uint64(n)
 	f.live -= n
-	delete(f.perASID, asid)
-	g := f.bumpGen()
-	if f.deadASID == nil {
-		f.deadASID = make(map[memory.ASID]uint32)
-	}
-	f.deadASID[asid] = g
-	f.staleFT += n
-	f.maybeCompactFT()
+	f.perASID.Delete(uint64(asid))
+	f.ep.MarkDeadASID(uint16(asid), f.bumpGen())
 	return n
 }
 
@@ -556,7 +528,12 @@ func (f *FBT) FlushASID(asid memory.ASID) int {
 func (f *FBT) Len() int { return f.live }
 
 // ASIDResident returns the live entry count for one address space.
-func (f *FBT) ASIDResident(asid memory.ASID) int { return f.perASID[asid] }
+func (f *FBT) ASIDResident(asid memory.ASID) int {
+	if p := f.perASID.Ref(uint64(asid)); p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Entry returns the entry for ppn without counting a lookup (test/debug).
 func (f *FBT) Entry(ppn memory.PPN) (View, bool) {

@@ -1,6 +1,10 @@
 package memory
 
-import "fmt"
+import (
+	"fmt"
+
+	"vcache/internal/flatmap"
+)
 
 // Levels is the depth of the radix page table (x86-64 style: PML4, PDPT,
 // PD, PT).
@@ -51,11 +55,18 @@ type node struct {
 // each level during a walk, root first. Page-walk caches key on these.
 type WalkTrace [Levels]PAddr
 
-// PageTable is a 4-level radix page table.
+// PageTable is a 4-level radix page table. The radix tree is the model —
+// walks touch its per-level physical frames — but functional translations
+// (Lookup) are served from flat open-addressing mirrors of the leaves, one
+// for 4KB pages and one for 2MB regions, kept in lockstep by the three leaf
+// mutators (Map, Unmap, MapLarge).
 type PageTable struct {
 	root  *node
 	alloc *FrameAlloc
 	pages int // count of valid leaf mappings
+
+	flat      flatmap.Map[PTE] // vpn -> 4KB leaf
+	flatLarge flatmap.Map[PTE] // 2MB region base vpn -> unadjusted large leaf
 }
 
 // NewPageTable creates an empty table whose nodes draw frames from alloc.
@@ -96,6 +107,7 @@ func (pt *PageTable) Map(vpn VPN, ppn PPN, perm Perm) {
 		pt.pages++
 	}
 	n.leaves[idx] = PTE{PPN: ppn, Perm: perm, Valid: true}
+	pt.flat.Put(uint64(vpn), n.leaves[idx])
 }
 
 // Unmap removes the translation for vpn. It reports whether a valid mapping
@@ -113,6 +125,7 @@ func (pt *PageTable) Unmap(vpn VPN) bool {
 		return false
 	}
 	n.leaves[idx] = PTE{}
+	pt.flat.Delete(uint64(vpn))
 	pt.pages--
 	return true
 }
@@ -145,6 +158,7 @@ func (pt *PageTable) MapLarge(vpn VPN, ppn PPN, perm Perm) {
 		pt.pages += PagesPerLarge
 	}
 	n.large[idx] = PTE{PPN: ppn, Perm: perm, Valid: true, Large: true}
+	pt.flatLarge.Put(uint64(vpn), n.large[idx])
 }
 
 // largeAt returns the 2MB leaf covering vpn at node n (the PD level), with
@@ -161,23 +175,21 @@ func largeAt(n *node, vpn VPN) (PTE, bool) {
 	return pte, true
 }
 
-// Lookup returns the PTE for vpn, if valid. Purely functional (no timing).
-// Large mappings return a synthesized 4KB-granular PTE with Large set.
+// Lookup returns the PTE for vpn, if valid. Purely functional (no timing):
+// it is served from the flat leaf mirrors, not the radix tree, so the hot
+// translation path is two table probes at most. Large mappings shadow 4KB
+// leaves beneath them (as the radix walk resolves them first) and return a
+// synthesized 4KB-granular PTE with Large set.
 func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
-	n := pt.root
-	for level := 0; level < Levels-1; level++ {
-		if level == Levels-2 {
-			if pte, ok := largeAt(n, vpn); ok {
-				return pte, true
-			}
-		}
-		n = n.children[levelIndex(vpn, level)]
-		if n == nil {
-			return PTE{}, false
+	if pt.flatLarge.Len() != 0 {
+		base := vpn &^ VPN(PagesPerLarge-1)
+		if pte, ok := pt.flatLarge.Get(uint64(base)); ok {
+			pte.PPN += PPN(uint64(vpn) & (PagesPerLarge - 1))
+			return pte, true
 		}
 	}
-	pte := n.leaves[levelIndex(vpn, Levels-1)]
-	return pte, pte.Valid
+	pte, ok := pt.flat.Get(uint64(vpn))
+	return pte, ok
 }
 
 // Walk performs a full walk for vpn, returning the PTE, the physical

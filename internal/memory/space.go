@@ -2,8 +2,56 @@ package memory
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"vcache/internal/flatmap"
 )
+
+// revEntry is one reverse-map record: the VPNs mapped to a physical page
+// live in a vpnArena block of capacity 1<<cls starting at off.
+type revEntry struct {
+	off     int32
+	n       int32
+	cls     uint8 // block capacity is 1 << cls
+	foreign bool  // frame owned elsewhere (MapFrame); never freed here
+}
+
+// vpnArena backs the reverse-map synonym lists: power-of-two blocks carved
+// from one slice and recycled through per-size-class free lists, so synonym
+// bookkeeping allocates nothing in steady state. Synonym lists are almost
+// always length 1 (only explicit MapSynonym/MapFrame calls grow them), so
+// blocks start at capacity 1.
+type vpnArena struct {
+	buf  []VPN
+	free [][]int32 // free block offsets, indexed by size class
+}
+
+func (a *vpnArena) alloc(cls uint8) int32 {
+	if int(cls) < len(a.free) {
+		if fl := a.free[cls]; len(fl) > 0 {
+			off := fl[len(fl)-1]
+			a.free[cls] = fl[:len(fl)-1]
+			return off
+		}
+	}
+	off := int32(len(a.buf))
+	a.buf = append(a.buf, make([]VPN, 1<<cls)...)
+	return off
+}
+
+func (a *vpnArena) release(off int32, cls uint8) {
+	for int(cls) >= len(a.free) {
+		a.free = append(a.free, nil)
+	}
+	a.free[cls] = append(a.free[cls], off)
+}
+
+func (a *vpnArena) reset() {
+	a.buf = a.buf[:0]
+	for i := range a.free {
+		a.free[i] = a.free[i][:0]
+	}
+}
 
 // AddressSpace is a demand-mapped virtual address space: the first touch of
 // a page allocates a physical frame and installs the translation, the way
@@ -15,12 +63,10 @@ type AddressSpace struct {
 	Table *PageTable
 	alloc *FrameAlloc
 
-	// reverse maps PPN -> all VPNs mapped to it, for synonym bookkeeping.
-	reverse map[PPN][]VPN
-
-	// foreign marks frames installed with MapFrame: owned elsewhere (a
-	// cross-space shared page), so Release and Unmap never free them.
-	foreign map[PPN]bool
+	// rev maps uint64(PPN) -> the VPNs mapped to it (in arena blocks), for
+	// synonym bookkeeping, plus the foreign-frame flag.
+	rev   flatmap.Map[revEntry]
+	arena vpnArena
 
 	defaultPerm Perm
 }
@@ -33,13 +79,34 @@ func NewAddressSpace(id ASID, alloc *FrameAlloc) *AddressSpace {
 		ID:          id,
 		Table:       NewPageTable(alloc),
 		alloc:       alloc,
-		reverse:     make(map[PPN][]VPN),
 		defaultPerm: PermRead | PermWrite,
 	}
 }
 
 // SetDefaultPerm sets the permission used for demand-mapped pages.
 func (as *AddressSpace) SetDefaultPerm(p Perm) { as.defaultPerm = p }
+
+// revAppend records vpn as mapped to ppn, preserving insertion order (the
+// first VPN recorded for a frame is the one Release consults for large-page
+// geometry).
+func (as *AddressSpace) revAppend(ppn PPN, vpn VPN) {
+	e := as.rev.Ref(uint64(ppn))
+	if e == nil {
+		off := as.arena.alloc(0)
+		as.arena.buf[off] = vpn
+		as.rev.Put(uint64(ppn), revEntry{off: off, n: 1})
+		return
+	}
+	if e.n == 1<<e.cls {
+		cls := e.cls + 1
+		off := as.arena.alloc(cls)
+		copy(as.arena.buf[off:off+e.n], as.arena.buf[e.off:e.off+e.n])
+		as.arena.release(e.off, e.cls)
+		e.off, e.cls = off, cls
+	}
+	as.arena.buf[e.off+e.n] = vpn
+	e.n++
+}
 
 // EnsureMapped guarantees va's page is mapped, allocating a frame on first
 // touch, and returns its PTE.
@@ -50,7 +117,7 @@ func (as *AddressSpace) EnsureMapped(va VAddr) PTE {
 	}
 	ppn := as.alloc.Alloc()
 	as.Table.Map(vpn, ppn, as.defaultPerm)
-	as.reverse[ppn] = append(as.reverse[ppn], vpn)
+	as.revAppend(ppn, vpn)
 	return PTE{PPN: ppn, Perm: as.defaultPerm, Valid: true}
 }
 
@@ -66,7 +133,7 @@ func (as *AddressSpace) EnsureMappedLarge(va VAddr) PTE {
 	base, _ := LargeBase(vpn, 0)
 	ppn := as.alloc.AllocContig(PagesPerLarge)
 	as.Table.MapLarge(base, ppn, as.defaultPerm)
-	as.reverse[ppn] = append(as.reverse[ppn], base)
+	as.revAppend(ppn, base)
 	pte, _ := as.Table.Lookup(vpn)
 	return pte
 }
@@ -91,7 +158,7 @@ func (as *AddressSpace) MapSynonym(alias, target VAddr, perm Perm) PTE {
 		return old
 	}
 	as.Table.Map(vpn, tgt.PPN, perm)
-	as.reverse[tgt.PPN] = append(as.reverse[tgt.PPN], vpn)
+	as.revAppend(tgt.PPN, vpn)
 	return PTE{PPN: tgt.PPN, Perm: perm, Valid: true}
 }
 
@@ -105,11 +172,8 @@ func (as *AddressSpace) MapFrame(va VAddr, ppn PPN, perm Perm) PTE {
 		return old
 	}
 	as.Table.Map(vpn, ppn, perm)
-	as.reverse[ppn] = append(as.reverse[ppn], vpn)
-	if as.foreign == nil {
-		as.foreign = make(map[PPN]bool)
-	}
-	as.foreign[ppn] = true
+	as.revAppend(ppn, vpn)
+	as.rev.Ref(uint64(ppn)).foreign = true
 	return PTE{PPN: ppn, Perm: perm, Valid: true}
 }
 
@@ -119,37 +183,49 @@ func (as *AddressSpace) MapFrame(va VAddr, ppn PPN, perm Perm) PTE {
 // recycling — and therefore every later allocation — is deterministic.
 // The space must not be used afterwards.
 func (as *AddressSpace) Release() int {
-	ppns := make([]PPN, 0, len(as.reverse))
-	for ppn := range as.reverse {
-		if !as.foreign[ppn] {
-			ppns = append(ppns, ppn)
-		}
-	}
-	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	keys := as.rev.AppendKeys(nil)
+	slices.Sort(keys) // ascending PPN
 	freed := 0
-	for _, ppn := range ppns {
+	for _, k := range keys {
+		e := as.rev.Ref(k)
+		if e.foreign {
+			continue
+		}
 		n := 1
-		if pte, ok := as.Table.Lookup(as.reverse[ppn][0]); ok && pte.Large {
+		if pte, ok := as.Table.Lookup(as.arena.buf[e.off]); ok && pte.Large {
 			n = PagesPerLarge
 		}
 		for i := 0; i < n; i++ {
-			as.alloc.Free(ppn + PPN(i))
+			as.alloc.Free(PPN(k) + PPN(i))
 			freed++
 		}
 	}
-	as.reverse = make(map[PPN][]VPN)
+	as.rev.Reset()
+	as.arena.reset()
 	return freed
 }
 
-// Synonyms returns all VPNs currently mapped to ppn.
+// Synonyms returns all VPNs currently mapped to ppn. The slice aliases the
+// space's internal arena: treat it as read-only and don't hold it across
+// mapping changes.
 func (as *AddressSpace) Synonyms(ppn PPN) []VPN {
-	return as.reverse[ppn]
+	e := as.rev.Ref(uint64(ppn))
+	if e == nil {
+		return nil
+	}
+	return as.arena.buf[e.off : e.off+e.n : e.off+e.n]
 }
 
-// AllMappings returns the live reverse map (PPN -> VPNs). The slices are
-// shared with the address space: callers must treat them as read-only.
+// AllMappings returns a snapshot of the reverse map (PPN -> VPNs). The
+// returned map and slices are the caller's to keep: they never alias the
+// space's internal state.
 func (as *AddressSpace) AllMappings() map[PPN][]VPN {
-	return as.reverse
+	out := make(map[PPN][]VPN, as.rev.Len())
+	for _, k := range as.rev.AppendKeys(nil) {
+		e := as.rev.Ref(k)
+		out[PPN(k)] = append([]VPN(nil), as.arena.buf[e.off:e.off+e.n]...)
+	}
+	return out
 }
 
 // Protect changes the permission of va's page. It reports whether the page
@@ -173,22 +249,26 @@ func (as *AddressSpace) Unmap(va VAddr) bool {
 		return false
 	}
 	as.Table.Unmap(vpn)
-	vs := as.reverse[pte.PPN]
-	for i, v := range vs {
-		if v == vpn {
-			vs = append(vs[:i], vs[i+1:]...)
-			break
+	e := as.rev.Ref(uint64(pte.PPN))
+	if e != nil {
+		vs := as.arena.buf[e.off : e.off+e.n]
+		for i := range vs {
+			if vs[i] == vpn {
+				copy(vs[i:], vs[i+1:])
+				e.n--
+				break
+			}
 		}
 	}
-	if len(vs) == 0 {
-		delete(as.reverse, pte.PPN)
-		if as.foreign[pte.PPN] {
-			delete(as.foreign, pte.PPN)
-		} else {
+	if e == nil || e.n == 0 {
+		foreign := e != nil && e.foreign
+		if e != nil {
+			as.arena.release(e.off, e.cls)
+			as.rev.Delete(uint64(pte.PPN))
+		}
+		if !foreign {
 			as.alloc.Free(pte.PPN)
 		}
-	} else {
-		as.reverse[pte.PPN] = vs
 	}
 	return true
 }

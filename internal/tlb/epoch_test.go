@@ -62,7 +62,7 @@ func TestGenerationWraparound(t *testing.T) {
 		tb := New(Config{Entries: entries, Assoc: 4})
 		// Park the counter two bumps from the wrap, as ~2^32 bulk
 		// invalidations would.
-		tb.seq = ^uint32(0) - 2
+		tb.ep.SetGen(^uint32(0) - 2)
 		tb.Insert(1, 1, 10, memory.PermRead)
 		tb.Insert(2, 2, 20, memory.PermRead)
 		tb.InvalidateASID(1) // seq -> max-1
@@ -73,8 +73,8 @@ func TestGenerationWraparound(t *testing.T) {
 		// The next generation bump would wrap the counter: this ASID flush
 		// (lazy paths always bump when entries die) triggers normalize first.
 		tb.InvalidateASID(3)
-		if tb.seq != 1 {
-			t.Fatalf("entries=%d: seq after wrap-triggering flush = %d, want 1", entries, tb.seq)
+		if tb.ep.Gen() != 1 {
+			t.Fatalf("entries=%d: seq after wrap-triggering flush = %d, want 1", entries, tb.ep.Gen())
 		}
 		if tb.Len() != 2 {
 			t.Fatalf("entries=%d: Len after wrap = %d, want 2", entries, tb.Len())
@@ -136,6 +136,28 @@ func TestLazyEagerTLBParityFuzz(t *testing.T) {
 				base := largeBase(vpn)
 				lazy.InsertLarge(asid, base, memory.PPN(0x1000*uint64(base+1)), memory.PermRead)
 				eager.InsertLarge(asid, base, memory.PPN(0x1000*uint64(base+1)), memory.PermRead)
+			case 4:
+				// Burst of inserts across a wide VPN range: in infinite mode
+				// this drives the flat tables through growth and
+				// occupancy-triggered sweeps mid-stream, which must never be
+				// observable.
+				base := memory.VPN(rng.Intn(1 << 16))
+				for i := 0; i < 32; i++ {
+					lazy.Insert(asid, base+memory.VPN(i), memory.PPN(base)+memory.PPN(i)+7, memory.PermRead)
+					eager.Insert(asid, base+memory.VPN(i), memory.PPN(base)+memory.PPN(i)+7, memory.PermRead)
+				}
+			case 5:
+				if l, e := lazy.Probe(asid, vpn), eager.Probe(asid, vpn); l != e {
+					t.Fatalf("entries=%d op %d: Probe(%d,%d) %v vs %v", entries, op, asid, vpn, l, e)
+				}
+			case 6:
+				n := uint64(1 + rng.Intn(8))
+				le, lok := lazy.LookupSpan(asid, vpn, n)
+				ee, eok := eager.LookupSpan(asid, vpn, n)
+				if lok != eok || (lok && le.Frame(vpn) != ee.Frame(vpn)) {
+					t.Fatalf("entries=%d op %d: LookupSpan(%d,%d,%d) diverged: %v/%v vs %v/%v",
+						entries, op, asid, vpn, n, le, lok, ee, eok)
+				}
 			default:
 				if rng.Intn(2) == 0 {
 					lazy.Insert(asid, vpn, memory.PPN(vpn)+100, memory.PermRead)

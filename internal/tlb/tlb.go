@@ -10,15 +10,18 @@
 // invalidation bumps a generation counter and defers the physical work, and
 // dead entries are skipped or reclaimed on next touch. Residency counts are
 // maintained incrementally so Len() and the obs gauge stay exact without
-// scanning. The eager scan paths survive behind the Eager flag for
+// scanning. The infinite-mode maps are flatmap tables that reclaim dead
+// slots on the probe path, so steady-state lookups and inserts are
+// allocation-free. The eager scan paths survive behind the Eager flag for
 // differential testing and for owners that need per-entry OnEvict
 // observation during bulk flushes.
 package tlb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"vcache/internal/flatmap"
 	"vcache/internal/memory"
 	"vcache/internal/obs"
 )
@@ -90,22 +93,21 @@ type asidCnt struct {
 type TLB struct {
 	cfg      Config
 	sets     [][]Entry
-	inf      map[key]Entry
-	infLarge map[key]Entry // infinite mode: 2MB entries, keyed by base
-	large    int           // finite mode: resident 2MB entries (skip probe when 0)
+	isInf    bool
+	inf      flatmap.Map[Entry] // infinite mode: 4KB entries, packed (asid, vpn) keys
+	infLarge flatmap.Map[Entry] // infinite mode: 2MB entries, keyed by region base
+	large    int                // finite mode: resident 2MB entries (skip probe when 0)
 	tick     uint64
 	stats    Stats
 
-	// Epoch invalidation state. An entry is live iff its born generation is
-	// >= deadAll and >= its address space's deadASID mark. Generations only
-	// advance on lazy bulk invalidations; normalize() rewinds everything
-	// before the uint32 counter can wrap.
-	seq      uint32
-	deadAll  uint32
-	deadASID map[memory.ASID]uint32
-	resident int // live entries (maintained, so Len is O(1))
-	perASID  map[memory.ASID]*asidCnt
-	staleInf int // dead entries still physically in inf/infLarge
+	// Epoch invalidation state. An entry is live iff its born generation
+	// survives every death mark in ep. Generations only advance on lazy bulk
+	// invalidations; normalize() rewinds everything before the uint32
+	// counter can wrap. The infinite-mode maps share ep, so they reclaim
+	// their own dead slots during probes.
+	ep       flatmap.Epoch
+	resident int                  // live entries (maintained, so Len is O(1))
+	perASID  flatmap.Map[asidCnt] // keyed by uint64(asid)
 
 	// Eager restores scan-based bulk invalidation: InvalidateAll and
 	// InvalidateASID walk the structure and fire OnEvict per entry (in
@@ -126,17 +128,18 @@ type TLB struct {
 	Trace *obs.Emitter
 }
 
-type key struct {
-	asid memory.ASID
-	vpn  memory.VPN
+// infKey packs a TLB key for the flat infinite-mode maps.
+func infKey(asid memory.ASID, vpn memory.VPN) uint64 {
+	return flatmap.Key(uint16(asid), uint64(vpn))
 }
 
 // New builds a TLB from cfg.
 func New(cfg Config) *TLB {
 	t := &TLB{cfg: cfg}
 	if cfg.Infinite() {
-		t.inf = make(map[key]Entry)
-		t.infLarge = make(map[key]Entry)
+		t.isInf = true
+		t.inf.Init(&t.ep)
+		t.infLarge.Init(&t.ep)
 		return t
 	}
 	assoc := cfg.Assoc
@@ -180,27 +183,12 @@ func largeBase(vpn memory.VPN) memory.VPN {
 // live reports whether a valid entry survived every bulk invalidation since
 // it was inserted. Callers check valid themselves.
 func (t *TLB) live(e *Entry) bool {
-	if e.born < t.deadAll {
-		return false
-	}
-	if len(t.deadASID) != 0 {
-		if d, ok := t.deadASID[e.ASID]; ok && e.born < d {
-			return false
-		}
-	}
-	return true
+	return t.ep.Live(uint16(e.ASID), e.born)
 }
 
 func (t *TLB) incCount(asid memory.ASID, large bool) {
 	t.resident++
-	if t.perASID == nil {
-		t.perASID = make(map[memory.ASID]*asidCnt)
-	}
-	c := t.perASID[asid]
-	if c == nil {
-		c = &asidCnt{}
-		t.perASID[asid] = c
-	}
+	c := t.perASID.Upsert(uint64(asid))
 	c.n++
 	if large {
 		c.large++
@@ -209,48 +197,32 @@ func (t *TLB) incCount(asid memory.ASID, large bool) {
 
 func (t *TLB) decCount(asid memory.ASID, large bool) {
 	t.resident--
-	c := t.perASID[asid]
+	c := t.perASID.Ref(uint64(asid))
 	c.n--
 	if large {
 		c.large--
 	}
 	if c.n == 0 {
-		delete(t.perASID, asid)
+		t.perASID.Delete(uint64(asid))
 	}
 }
 
 // bumpGen advances the generation counter, normalizing first when the next
 // increment would wrap.
 func (t *TLB) bumpGen() uint32 {
-	if t.seq == ^uint32(0) {
+	if t.ep.AtMax() {
 		t.normalize()
 	}
-	t.seq++
-	return t.seq
+	return t.ep.Bump()
 }
 
 // normalize physically drops dead entries and rewinds every generation to
 // zero, making counter wraparound impossible to observe. Amortized cost is
 // one structure walk per 2^32 bulk invalidations.
 func (t *TLB) normalize() {
-	if t.inf != nil {
-		for k, e := range t.inf {
-			if !t.live(&e) {
-				delete(t.inf, k)
-			} else if e.born != 0 {
-				e.born = 0
-				t.inf[k] = e
-			}
-		}
-		for k, e := range t.infLarge {
-			if !t.live(&e) {
-				delete(t.infLarge, k)
-			} else if e.born != 0 {
-				e.born = 0
-				t.infLarge[k] = e
-			}
-		}
-		t.staleInf = 0
+	if t.isInf {
+		t.inf.Normalize()
+		t.infLarge.Normalize()
 	} else {
 		for _, set := range t.sets {
 			for i := range set {
@@ -265,45 +237,7 @@ func (t *TLB) normalize() {
 			}
 		}
 	}
-	t.seq, t.deadAll = 0, 0
-	t.deadASID = nil
-}
-
-// maybeCompact bounds the dead residue in the infinite-mode maps: when dead
-// entries outnumber live ones the maps are rebuilt. Triggered only by op
-// counts, so it is deterministic.
-func (t *TLB) maybeCompact() {
-	if t.staleInf <= 64 || t.staleInf <= t.resident {
-		return
-	}
-	for k, e := range t.inf {
-		if !t.live(&e) {
-			delete(t.inf, k)
-		}
-	}
-	for k, e := range t.infLarge {
-		if !t.live(&e) {
-			delete(t.infLarge, k)
-		}
-	}
-	t.staleInf = 0
-	t.deadAll = 0
-	t.deadASID = nil
-}
-
-// infGet reads a live entry from an infinite-mode map, reclaiming a dead
-// one on touch.
-func (t *TLB) infGet(m map[key]Entry, k key) (Entry, bool) {
-	e, ok := m[k]
-	if !ok {
-		return Entry{}, false
-	}
-	if !t.live(&e) {
-		delete(m, k)
-		t.staleInf--
-		return Entry{}, false
-	}
-	return e, true
+	t.ep.Reset()
 }
 
 // find returns the live finite-mode entry for (asid, vpn, large),
@@ -330,15 +264,15 @@ func (t *TLB) find(asid memory.ASID, vpn memory.VPN, large bool) *Entry {
 // counters. Both 4KB entries and covering 2MB entries hit.
 func (t *TLB) Lookup(asid memory.ASID, vpn memory.VPN) (Entry, bool) {
 	t.tick++
-	if t.inf != nil {
+	if t.isInf {
 		// Infinite TLBs never evict by capacity, so LRU state is dead:
-		// hits are a single map read with no write-back.
-		if e, ok := t.infGet(t.inf, key{asid, vpn}); ok {
+		// hits are a single flat-table probe with no write-back.
+		if e, ok := t.inf.Get(infKey(asid, vpn)); ok {
 			t.stats.Hits++
 			return e, true
 		}
-		if len(t.infLarge) > 0 {
-			if e, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)}); ok {
+		if t.infLarge.Len() > 0 {
+			if e, ok := t.infLarge.Get(infKey(asid, largeBase(vpn))); ok {
 				t.stats.Hits++
 				return e, true
 			}
@@ -375,13 +309,13 @@ func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, boo
 		return Entry{}, false
 	}
 	t.tick += n
-	if t.inf != nil {
-		if e, ok := t.infGet(t.inf, key{asid, vpn}); ok {
+	if t.isInf {
+		if e, ok := t.inf.Get(infKey(asid, vpn)); ok {
 			t.stats.Hits += n
 			return e, true
 		}
-		if len(t.infLarge) > 0 {
-			if e, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)}); ok {
+		if t.infLarge.Len() > 0 {
+			if e, ok := t.infLarge.Get(infKey(asid, largeBase(vpn))); ok {
 				t.stats.Hits += n
 				return e, true
 			}
@@ -410,11 +344,11 @@ func (t *TLB) LookupSpan(asid memory.ASID, vpn memory.VPN, n uint64) (Entry, boo
 // Probe reports whether a translation for (asid, vpn) is resident (4KB or
 // covering 2MB entry) without disturbing LRU or counters.
 func (t *TLB) Probe(asid memory.ASID, vpn memory.VPN) bool {
-	if t.inf != nil {
-		if _, ok := t.infGet(t.inf, key{asid, vpn}); ok {
+	if t.isInf {
+		if _, ok := t.inf.Get(infKey(asid, vpn)); ok {
 			return true
 		}
-		_, ok := t.infGet(t.infLarge, key{asid, largeBase(vpn)})
+		_, ok := t.infLarge.Get(infKey(asid, largeBase(vpn)))
 		return ok
 	}
 	if t.find(asid, vpn, false) != nil {
@@ -445,21 +379,19 @@ func (t *TLB) insert(e Entry) {
 	e.valid = true
 	e.lru = t.tick
 	e.insertedAt = t.now()
-	e.born = t.seq
+	e.born = t.ep.Gen()
 	asid, vpn := e.ASID, e.VPN
-	if t.inf != nil {
-		m := t.inf
+	if t.isInf {
+		m := &t.inf
 		if e.Large {
-			m = t.infLarge
+			m = &t.infLarge
 		}
-		k := key{asid, vpn}
-		if old, ok := m[k]; !ok {
-			t.incCount(asid, e.Large)
-		} else if !t.live(&old) {
-			t.staleInf--
+		// Put reclaims a dead entry under the same key during its probe, so
+		// a false return means the key was absent from the live view and the
+		// residency count grows.
+		if !m.Put(infKey(asid, vpn), e) {
 			t.incCount(asid, e.Large)
 		}
-		m[k] = e
 		return
 	}
 	set := t.sets[t.setIndex(asid, vpn)]
@@ -508,15 +440,11 @@ func (t *TLB) evict(e *Entry) {
 }
 
 // dropInf removes an infinite-mode entry by key, reporting whether a live
-// entry was evicted.
-func (t *TLB) dropInf(m map[key]Entry, k key) bool {
-	e, ok := m[k]
+// entry was evicted (a dead entry reclaimed by the probe was already
+// accounted for when it died).
+func (t *TLB) dropInf(m *flatmap.Map[Entry], k uint64) bool {
+	e, ok := m.Delete(k)
 	if !ok {
-		return false
-	}
-	delete(m, k)
-	if !t.live(&e) {
-		t.staleInf--
 		return false
 	}
 	t.evictNotify(e)
@@ -548,11 +476,11 @@ func (t *TLB) InvalidatePages(asid memory.ASID, vpns []memory.VPN) int {
 
 func (t *TLB) dropPage(asid memory.ASID, vpn memory.VPN) bool {
 	hit := false
-	if t.inf != nil {
-		if t.dropInf(t.inf, key{asid, vpn}) {
+	if t.isInf {
+		if t.dropInf(&t.inf, infKey(asid, vpn)) {
 			hit = true
 		}
-		if t.dropInf(t.infLarge, key{asid, largeBase(vpn)}) {
+		if t.dropInf(&t.infLarge, infKey(asid, largeBase(vpn))) {
 			hit = true
 		}
 		return hit
@@ -570,38 +498,37 @@ func (t *TLB) dropPage(asid memory.ASID, vpn memory.VPN) bool {
 	return hit
 }
 
-// sortedInfKeys returns m's keys ordered by (asid, vpn) so eager
-// infinite-mode flushes evict in a deterministic order instead of Go map
-// order.
-func sortedInfKeys(m map[key]Entry, asid memory.ASID, all bool) []key {
-	ks := make([]key, 0, len(m))
-	for k := range m {
-		if all || k.asid == asid {
-			ks = append(ks, k)
+// sortedLiveKeys returns m's live keys in ascending packed order — which is
+// (asid, vpn) order — so eager infinite-mode flushes evict deterministically
+// instead of in table-slot order.
+func sortedLiveKeys(m *flatmap.Map[Entry], asid memory.ASID, all bool) []uint64 {
+	ks := m.AppendKeys(nil)
+	if !all {
+		kept := ks[:0]
+		for _, k := range ks {
+			if flatmap.KeyASID(k) == uint16(asid) {
+				kept = append(kept, k)
+			}
 		}
+		ks = kept
 	}
-	sort.Slice(ks, func(i, j int) bool {
-		if ks[i].asid != ks[j].asid {
-			return ks[i].asid < ks[j].asid
-		}
-		return ks[i].vpn < ks[j].vpn
-	})
+	slices.Sort(ks)
 	return ks
 }
 
 // InvalidateAll flushes every entry (all-entry shootdown), returning how
 // many live entries were dropped. Lazy unless Eager is set: one generation
-// bump (or a fresh map in infinite mode) retires everything at once.
+// bump (or a table reset in infinite mode) retires everything at once.
 func (t *TLB) InvalidateAll() int {
 	t.stats.Shootdowns++
 	n := t.resident
 	if t.Eager {
-		if t.inf != nil {
-			for _, k := range sortedInfKeys(t.inf, 0, true) {
-				t.dropInf(t.inf, k)
+		if t.isInf {
+			for _, k := range sortedLiveKeys(&t.inf, 0, true) {
+				t.dropInf(&t.inf, k)
 			}
-			for _, k := range sortedInfKeys(t.infLarge, 0, true) {
-				t.dropInf(t.infLarge, k)
+			for _, k := range sortedLiveKeys(&t.infLarge, 0, true) {
+				t.dropInf(&t.infLarge, k)
 			}
 			return n
 		}
@@ -614,23 +541,18 @@ func (t *TLB) InvalidateAll() int {
 		}
 		return n
 	}
-	if t.inf != nil {
-		if len(t.inf)+len(t.infLarge) > 0 {
-			t.inf = make(map[key]Entry)
-			t.infLarge = make(map[key]Entry)
-		}
-		t.staleInf = 0
-		t.deadAll = 0
-		t.deadASID = nil
+	if t.isInf {
+		t.inf.Reset()
+		t.infLarge.Reset()
+		t.ep.ClearDead()
 	} else if n > 0 {
-		t.deadAll = t.bumpGen()
-		t.deadASID = nil
+		t.ep.MarkDeadAll(t.bumpGen())
 	}
 	if n > 0 {
 		t.stats.Evictions += uint64(n)
 		t.resident = 0
 		t.large = 0
-		t.perASID = nil
+		t.perASID.Reset()
 	}
 	return n
 }
@@ -639,18 +561,17 @@ func (t *TLB) InvalidateAll() int {
 // returning how many were dropped. Lazy unless Eager is set.
 func (t *TLB) InvalidateASID(asid memory.ASID) int {
 	t.stats.Shootdowns++
-	c := t.perASID[asid]
-	n := 0
-	if c != nil {
-		n = c.n
+	n, nLarge := 0, 0
+	if c := t.perASID.Ref(uint64(asid)); c != nil {
+		n, nLarge = c.n, c.large
 	}
 	if t.Eager {
-		if t.inf != nil {
-			for _, k := range sortedInfKeys(t.inf, asid, false) {
-				t.dropInf(t.inf, k)
+		if t.isInf {
+			for _, k := range sortedLiveKeys(&t.inf, asid, false) {
+				t.dropInf(&t.inf, k)
 			}
-			for _, k := range sortedInfKeys(t.infLarge, asid, false) {
-				t.dropInf(t.infLarge, k)
+			for _, k := range sortedLiveKeys(&t.infLarge, asid, false) {
+				t.dropInf(&t.infLarge, k)
 			}
 			return n
 		}
@@ -668,19 +589,11 @@ func (t *TLB) InvalidateASID(asid memory.ASID) int {
 	}
 	t.stats.Evictions += uint64(n)
 	t.resident -= n
-	if t.inf == nil {
-		t.large -= c.large
+	if !t.isInf {
+		t.large -= nLarge
 	}
-	delete(t.perASID, asid)
-	g := t.bumpGen()
-	if t.deadASID == nil {
-		t.deadASID = make(map[memory.ASID]uint32)
-	}
-	t.deadASID[asid] = g
-	if t.inf != nil {
-		t.staleInf += n
-		t.maybeCompact()
-	}
+	t.perASID.Delete(uint64(asid))
+	t.ep.MarkDeadASID(uint16(asid), t.bumpGen())
 	return n
 }
 
